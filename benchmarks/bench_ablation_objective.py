@@ -1,0 +1,81 @@
+"""Ablation: tuning objective (time vs energy vs EDP) with the
+future-work DVFS dimension, under an 85 W cap.
+
+The paper tunes for execution time only.  With per-region frequency
+ceilings in the search space, an energy objective can slow memory-bound
+regions down (their stall time is frequency-invariant) to save package
+power - the classic race-to-idle-vs-slowdown trade-off.
+"""
+
+from repro.core.config import config_from_point, search_space_for
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.util.tables import format_table
+from repro.workloads.sp import sp_application
+
+
+def sweep():
+    """Per-region exhaustive argmin for each objective over the
+    DVFS-extended space; returns app-level step time/energy sums."""
+    spec = crill()
+    space = search_space_for(spec, include_dvfs=True)
+    node = SimulatedNode(spec)
+    node.set_power_cap(85.0)
+    node.settle_after_cap()
+    engine = ExecutionEngine(node)
+    regions = [rc.region for rc in sp_application("B").step_sequence]
+
+    objectives = {
+        "time": lambda rec: rec.time_s,
+        "energy": lambda rec: rec.energy_j,
+        "edp": lambda rec: rec.energy_j * rec.time_s,
+    }
+    totals = {name: [0.0, 0.0] for name in objectives}
+    chosen_freqs: dict[str, list] = {name: [] for name in objectives}
+    for region in regions:
+        records = []
+        for indices in space.iter_indices():
+            point = space.decode(indices)
+            cfg = config_from_point(point)
+            freq = point["freq_ghz"]
+            node.set_frequency_limit(
+                None if freq is None else float(freq)  # type: ignore[arg-type]
+            )
+            records.append((point, engine._simulate(region, cfg)))
+        node.set_frequency_limit(None)
+        for name, fn in objectives.items():
+            point, best = min(records, key=lambda pr: fn(pr[1]))
+            totals[name][0] += best.time_s
+            totals[name][1] += best.energy_j
+            chosen_freqs[name].append(point["freq_ghz"])
+    return totals, chosen_freqs
+
+
+def test_objective_ablation(benchmark, save_result):
+    totals, chosen_freqs = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    rows = []
+    for name, (time_s, energy_j) in totals.items():
+        capped = sum(1 for f in chosen_freqs[name] if f is not None)
+        rows.append(
+            (name, f"{time_s * 1e3:.2f}", f"{energy_j:.3f}",
+             f"{capped}/{len(chosen_freqs[name])}")
+        )
+    save_result(
+        "ablation_objective_dvfs",
+        format_table(
+            ("objective", "SP step time (ms)", "step energy (J)",
+             "regions w/ DVFS ceiling"),
+            rows,
+            title="Ablation: tuning objective with the DVFS dimension "
+            "(SP-B, Crill, 85 W)",
+        ),
+    )
+    # time-argmin is fastest; energy-argmin uses least energy
+    assert totals["time"][0] <= totals["energy"][0] + 1e-12
+    assert totals["energy"][1] <= totals["time"][1] + 1e-12
+    # EDP sits between the two on both axes
+    assert totals["time"][0] <= totals["edp"][0] + 1e-9
+    assert totals["energy"][1] <= totals["edp"][1] + 1e-9

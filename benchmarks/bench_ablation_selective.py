@@ -1,0 +1,54 @@
+"""Ablation: selective tuning of small regions (the paper's future
+work: "we plan to improve ARCS to enable selective tuning for OpenMP
+regions to avoid overheads on the smaller regions").
+
+On LULESH/Crill, plain ARCS-Online loses to the default because tiny
+EvalEOS/CalcPressure calls pay the configuration-change overhead; the
+selective variant skips regions whose per-call time is below a few
+multiples of that overhead and should recover (most of) the loss.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_online,
+    run_default,
+)
+from repro.machine.spec import crill
+from repro.openmp.runtime import CONFIG_CALL_OVERHEAD_S
+from repro.util.tables import format_table
+from repro.workloads.lulesh import lulesh_application
+
+
+def run_ablation():
+    app = lulesh_application(45)
+    setup = ExperimentSetup(spec=crill(), repeats=1)
+    base = run_default(app, setup)
+    online = run_arcs_online(app, setup)
+    selective = run_arcs_online(
+        app,
+        setup,
+        selective_threshold_s=5.0 * 2 * CONFIG_CALL_OVERHEAD_S,
+    )
+    return base, online, selective
+
+
+def test_selective_tuning(benchmark, save_result):
+    base, online, selective = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    rows = [
+        (r.strategy, f"{r.time_s:.3f}",
+         f"{r.time_s / base.time_s:.3f}")
+        for r in (base, online, selective)
+    ]
+    save_result(
+        "ablation_selective",
+        format_table(
+            ("strategy", "time (s)", "normalized"),
+            rows,
+            title="Ablation: selective tuning on LULESH-45 (Crill, TDP)",
+        ),
+    )
+    # plain online loses on LULESH (paper); selective recovers
+    assert online.time_s > base.time_s * 0.995
+    assert selective.time_s < online.time_s

@@ -1,0 +1,84 @@
+"""Section II's dynamic scenario: "the resource manager may add/remove
+... nodes and adjust their power level dynamically.  To get the best
+per node performance at each power level, the runtime configurations
+need to be changed dynamically.  Our ARCS framework can do this
+efficiently."
+
+The node starts at TDP and is capped to 55 W halfway through the run.
+Compared: the default configuration, plain ARCS-Online (whose sessions
+ignore the cap change), and cap-aware ARCS-Online (fresh sessions per
+power level).
+"""
+
+from repro.core.controller import ARCS
+from repro.experiments.runner import ExperimentSetup, fresh_runtime
+from repro.machine.spec import crill
+from repro.util.tables import format_table
+from repro.workloads.base import run_application
+from repro.workloads.sp import sp_application
+import dataclasses
+
+
+def run_with_cap_change(attach_arcs=None, cap_aware=False):
+    """Run SP-B (extended); drop the package cap to 55 W after the
+    first quarter - the node then runs power-constrained for the bulk
+    of the job, as a resource manager's reallocation would have it."""
+    app = dataclasses.replace(sp_application("B"), timesteps=120)
+    quarter = app.timesteps // 4
+    first = dataclasses.replace(app, timesteps=quarter)
+    second = dataclasses.replace(app, timesteps=app.timesteps - quarter)
+
+    setup = ExperimentSetup(spec=crill(), repeats=1)
+    runtime = fresh_runtime(setup)
+    arcs = None
+    if attach_arcs:
+        arcs = ARCS(
+            runtime, strategy="nelder-mead", max_evals=30,
+            cap_aware=cap_aware,
+        )
+        arcs.attach()
+    r1 = run_application(first, runtime)
+    runtime.node.set_power_cap(55.0)
+    runtime.node.settle_after_cap()
+    r2 = run_application(second, runtime)
+    if arcs is not None:
+        arcs.finalize()
+    return r1.time_s + r2.time_s, (r1.energy_j or 0) + (r2.energy_j or 0)
+
+
+def run_all():
+    default = run_with_cap_change(attach_arcs=False)
+    plain = run_with_cap_change(attach_arcs=True, cap_aware=False)
+    aware = run_with_cap_change(attach_arcs=True, cap_aware=True)
+    return default, plain, aware
+
+
+def test_dynamic_power_adaptation(benchmark, save_result):
+    (d_t, d_e), (p_t, p_e), (a_t, a_e) = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    rows = [
+        ("default", f"{d_t:.3f}", "1.000", f"{d_e:.1f}"),
+        ("arcs-online (cap-blind)", f"{p_t:.3f}", f"{p_t / d_t:.3f}",
+         f"{p_e:.1f}"),
+        ("arcs-online (cap-aware)", f"{a_t:.3f}", f"{a_t / d_t:.3f}",
+         f"{a_e:.1f}"),
+    ]
+    save_result(
+        "dynamic_power_adaptation",
+        format_table(
+            ("strategy", "time (s)", "norm", "pkg energy (J)"),
+            rows,
+            title="SP-B with a mid-run TDP -> 55 W cap change (Crill)",
+        ),
+    )
+    # both ARCS modes beat the default through the cap change
+    assert p_t < d_t
+    assert a_t < d_t
+    # Re-tuning for the new power level pays a second (warm-started)
+    # search.  On this workload the TDP optima remain near-optimal at
+    # 55 W, so cap-aware lands close to cap-blind; its value is the
+    # guarantee of level-specific optima when the landscape *does*
+    # shift (see the integration test asserting configs differ across
+    # caps).
+    assert a_t < p_t * 1.08

@@ -1,0 +1,28 @@
+"""Figure 3: SP per-region cache/barrier features, default vs Offline."""
+
+from repro.experiments.figures import SP_MAJOR_REGIONS, fig3_sp_features
+from repro.experiments.reporting import render_features
+
+
+def test_fig3(benchmark, save_result):
+    comparison = benchmark.pedantic(
+        fig3_sp_features, rounds=1, iterations=1
+    )
+    save_result(
+        "fig3_sp_features",
+        render_features(
+            comparison,
+            "Fig. 3: SP major regions, default vs ARCS-Offline (TDP)",
+        ),
+    )
+    for region in SP_MAJOR_REGIONS:
+        feats = comparison.offline_normalized[region]
+        # barrier time drops substantially in every region (paper: >50%)
+        assert feats["OMP_BARRIER"] < 0.8
+        # L3 behaviour improves (paper: up to ~90%)
+        assert feats["L3 miss"] < 0.9
+    best_l3 = min(
+        comparison.offline_normalized[r]["L3 miss"]
+        for r in SP_MAJOR_REGIONS
+    )
+    assert best_l3 < 0.55

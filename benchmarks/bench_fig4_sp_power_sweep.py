@@ -1,0 +1,30 @@
+"""Figure 4: SP-B application-level time & package energy, five power
+levels, default vs ARCS-Online vs ARCS-Offline on Crill."""
+
+from repro.experiments.figures import fig4_sp_power_sweep
+from repro.experiments.reporting import render_sweep
+
+
+def test_fig4(benchmark, save_result):
+    sweep = benchmark.pedantic(
+        fig4_sp_power_sweep, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    save_result(
+        "fig4_sp_power_sweep",
+        render_sweep(sweep, "Fig. 4: SP-B on Crill"),
+    )
+    for cap in sweep.caps:
+        label = sweep.cap_label(cap)
+        offline = sweep.cells[(label, "arcs-offline")]
+        online = sweep.cells[(label, "arcs-online")]
+        # "all the strategies in all five power levels outperform the
+        # default configuration by a large margin" (26-40%)
+        assert offline.time_norm < 0.85
+        assert online.time_norm < 0.95
+        assert offline.energy_norm is not None
+        assert offline.energy_norm < 0.90
+    best_time_gain = 1.0 - min(
+        sweep.cells[(sweep.cap_label(c), "arcs-offline")].time_norm
+        for c in sweep.caps
+    )
+    assert best_time_gain > 0.20

@@ -1,0 +1,19 @@
+"""Figure 5: SP data set C at TDP - ARCS generalizes across workloads."""
+
+from repro.experiments.figures import fig5_sp_class_c
+from repro.experiments.reporting import render_sweep
+
+
+def test_fig5(benchmark, save_result):
+    sweep = benchmark.pedantic(
+        fig5_sp_class_c, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    save_result(
+        "fig5_sp_classC",
+        render_sweep(sweep, "Fig. 5: SP-C on Crill (TDP)"),
+    )
+    offline = sweep.cells[("TDP", "arcs-offline")]
+    # paper: up to 40% time / 42% energy improvement on the larger set
+    assert offline.time_norm < 0.85
+    assert offline.energy_norm is not None
+    assert offline.energy_norm < 0.85

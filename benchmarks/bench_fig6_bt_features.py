@@ -1,0 +1,22 @@
+"""Figure 6: BT compute_rhs features, default vs ARCS-Offline."""
+
+from repro.experiments.figures import fig6_bt_features
+from repro.experiments.reporting import render_features
+
+
+def test_fig6(benchmark, save_result):
+    comparison = benchmark.pedantic(
+        fig6_bt_features, rounds=1, iterations=1
+    )
+    save_result(
+        "fig6_bt_features",
+        render_features(
+            comparison,
+            "Fig. 6: BT compute_rhs, default vs ARCS-Offline (TDP)",
+        ),
+    )
+    feats = comparison.offline_normalized["compute_rhs"]
+    # paper: significant OMP_BARRIER improvement (~80%) for compute_rhs
+    assert feats["OMP_BARRIER"] < 0.75
+    # and the long-stride L1 behaviour is algorithmically stuck near 1.0
+    assert feats["L1 miss"] > 0.85

@@ -1,0 +1,37 @@
+"""Figure 8: LULESH mesh 45 - time & energy on Crill across power
+levels, and time on Minotaur (TDP)."""
+
+from repro.experiments.figures import fig8_lulesh
+from repro.experiments.reporting import render_sweep
+
+
+def test_fig8(benchmark, save_result):
+    crill_sweep, minotaur_sweep = benchmark.pedantic(
+        fig8_lulesh, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    save_result(
+        "fig8_lulesh_crill",
+        render_sweep(crill_sweep, "Fig. 8a/8b: LULESH-45 on Crill"),
+    )
+    save_result(
+        "fig8_lulesh_minotaur",
+        render_sweep(
+            minotaur_sweep, "Fig. 8c: LULESH-45 on Minotaur (time only)"
+        ),
+    )
+    for cap in crill_sweep.caps:
+        label = crill_sweep.cap_label(cap)
+        online = crill_sweep.cells[(label, "arcs-online")]
+        offline = crill_sweep.cells[(label, "arcs-offline")]
+        # Crill: Online degrades at every power level (Section V-C);
+        # Offline stays within a few percent of the default
+        assert online.time_norm > 0.995
+        assert 0.90 < offline.time_norm < 1.06
+        # energy improves for Offline at every level
+        assert offline.energy_norm is not None
+        assert offline.energy_norm < 1.0
+    # Minotaur: Offline clearly wins, Online modest (paper: 14% / 4%)
+    mino_online = minotaur_sweep.cells[("TDP", "arcs-online")]
+    mino_offline = minotaur_sweep.cells[("TDP", "arcs-offline")]
+    assert mino_offline.time_norm < 0.96
+    assert mino_offline.time_norm < mino_online.time_norm

@@ -1,0 +1,23 @@
+"""Figure 9: OMPT event breakdown for the top-5 LULESH regions."""
+
+from repro.experiments.figures import fig9_lulesh_regions
+from repro.experiments.reporting import render_fig9
+
+
+def test_fig9(benchmark, save_result):
+    rows = benchmark.pedantic(fig9_lulesh_regions, rounds=1, iterations=1)
+    save_result("fig9_lulesh_regions", render_fig9(rows))
+
+    names = [r.region for r in rows]
+    # the most time-consuming region is EvalEOSForElems_ (paper)
+    assert names[0] == "EvalEOSForElems_"
+    assert "CalcFBHourglassForceForElems_" in names
+    eval_eos = rows[0]
+    # most of EvalEOS's inclusive time is not loop work
+    assert eval_eos.loop_s < 0.6 * eval_eos.implicit_task_s
+    assert eval_eos.barrier_fraction > 0.3
+    # tiny per-call times comparable to the 0.8 ms config overhead
+    assert eval_eos.time_per_call_s < 1.5e-3
+    # the big element loops are nearly barrier-free
+    kin = next(r for r in rows if r.region == "CalcKinematicsForElems_")
+    assert kin.barrier_fraction < 0.05

@@ -1,0 +1,54 @@
+"""Section V text claims on the POWER8 machine (Minotaur): SP-B ~37%
+execution-time improvement; BT-B improved only by Offline (~8%)."""
+
+from repro.core.history import HistoryStore
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+)
+from repro.machine.spec import minotaur
+from repro.util.tables import format_table
+from repro.workloads.bt import bt_application
+from repro.workloads.sp import sp_application
+
+
+def minotaur_runs():
+    history = HistoryStore()
+    setup = ExperimentSetup(spec=minotaur(), repeats=3)
+    out = {}
+    for app in (sp_application("B"), bt_application("B")):
+        base = run_default(app, setup)
+        online = run_arcs_online(app, setup)
+        offline = run_arcs_offline(app, setup, history=history)
+        out[app.label] = (base, online, offline)
+    return out
+
+
+def test_minotaur_claims(benchmark, save_result):
+    runs = benchmark.pedantic(minotaur_runs, rounds=1, iterations=1)
+    rows = []
+    for label, (base, online, offline) in runs.items():
+        for res in (base, online, offline):
+            imp = 100 * (1 - res.time_s / base.time_s)
+            rows.append(
+                (label, res.strategy, f"{res.time_s:.3f}",
+                 f"{imp:+.1f}%")
+            )
+    save_result(
+        "minotaur_claims",
+        format_table(
+            ("app", "strategy", "time (s)", "improvement"),
+            rows,
+            title="Minotaur (POWER8, TDP, min-of-3): Section V claims",
+        ),
+    )
+    sp_base, _sp_online, sp_offline = runs["sp.B"]
+    bt_base, bt_online, bt_offline = runs["bt.B"]
+    sp_gain = 100 * (1 - sp_offline.time_s / sp_base.time_s)
+    bt_gain = 100 * (1 - bt_offline.time_s / bt_base.time_s)
+    # paper: SP 37%; BT only Offline, ~8%
+    assert 25.0 < sp_gain < 55.0
+    assert 2.0 < bt_gain < 20.0
+    assert bt_online.time_s > bt_offline.time_s

@@ -1,0 +1,73 @@
+"""Section III-C: ARCS overhead characterization.
+
+Reproduces the three overhead classes: configuration-changing overhead
+(~0.8 ms per change on Crill), APEX instrumentation overhead, and
+online search overhead (up to ~10% of execution time).
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetup, run_arcs_online
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.types import ScheduleKind
+from repro.util.tables import format_table
+from repro.workloads.sp import sp_application
+
+
+def measure_config_change_overhead() -> float:
+    """Simulated cost of one full configuration change (two runtime
+    routine calls)."""
+    runtime = OpenMPRuntime(SimulatedNode(crill()), noise_sigma=0.0)
+    t0 = runtime.node.now_s
+    runtime.omp_set_num_threads(8)
+    runtime.omp_set_schedule(ScheduleKind.GUIDED, 8)
+    return runtime.node.now_s - t0
+
+
+def test_config_change_overhead(benchmark, save_result):
+    overhead = benchmark(measure_config_change_overhead)
+    save_result(
+        "overhead_config_change",
+        f"Configuration-changing overhead per region call: "
+        f"{overhead * 1e3:.3f} ms (paper, Crill: ~0.8 ms)",
+    )
+    assert overhead == pytest.approx(0.8e-3, rel=0.01)
+
+
+def online_overhead_breakdown():
+    setup = ExperimentSetup(spec=crill(), repeats=1)
+    result = run_arcs_online(sp_application("B"), setup)
+    assert result.overhead is not None
+    return result
+
+
+def test_online_search_overhead(benchmark, save_result):
+    result = benchmark.pedantic(
+        online_overhead_breakdown, rounds=1, iterations=1
+    )
+    overhead = result.overhead
+    rows = [
+        ("configuration changing", f"{overhead.config_change_s:.4f}",
+         overhead.config_change_calls),
+        ("APEX instrumentation", f"{overhead.instrumentation_s:.4f}",
+         "-"),
+        ("search (online only)", f"{overhead.search_s:.4f}", "-"),
+        ("total", f"{overhead.total_s:.4f}", "-"),
+    ]
+    save_result(
+        "overhead_online_breakdown",
+        format_table(
+            ("overhead class", "seconds", "events"),
+            rows,
+            title=(
+                "Section III-C overheads, ARCS-Online on SP-B "
+                f"(app time {result.time_s:.2f}s, overhead "
+                f"{100 * overhead.fraction_of(result.time_s):.1f}%)"
+            ),
+        ),
+    )
+    # search overhead observed "as high as 10% of total execution time"
+    assert overhead.search_s / result.time_s < 0.20
+    assert overhead.total_s > 0

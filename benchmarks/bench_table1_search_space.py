@@ -1,0 +1,12 @@
+"""Table I: the ARCS search-parameter sets."""
+
+from repro.experiments.reporting import render_table1
+from repro.experiments.tables import table1_search_space
+
+
+def test_table1(benchmark, save_result):
+    rows = benchmark(table1_search_space)
+    save_result("table1_search_space", render_table1(rows))
+    assert len(rows) == 4
+    assert "2, 4, 8, 16, 24, 32, default" in rows[0].values
+    assert "10, 20, 40, 80, 120, 160, default" in rows[1].values

@@ -1,0 +1,17 @@
+"""Table II: optimal configurations chosen by ARCS-Offline for SP's
+four major regions at TDP on Crill."""
+
+from repro.experiments.reporting import render_table2
+from repro.experiments.tables import table2_sp_optimal_configs
+
+
+def test_table2(benchmark, save_result):
+    rows = benchmark.pedantic(
+        table2_sp_optimal_configs, rounds=1, iterations=1
+    )
+    save_result("table2_sp_optimal_configs", render_table2(rows))
+    assert [r.region for r in rows] == [
+        "compute_rhs", "x_solve", "y_solve", "z_solve",
+    ]
+    # shape check: the tuned configs are not the default configuration
+    assert all(r.config != "32, static, default" for r in rows)

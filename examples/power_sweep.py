@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Power-cap sweep: how the optimal configuration shifts with the cap.
+
+Sweeps the paper's five Crill power levels (55/70/85/100/115 W), tunes
+SP with ARCS-Offline at each level, and shows (a) normalized time and
+energy per level and (b) how the chosen per-region configurations
+change with the cap - the Section II motivation ("the optimal
+configurations for these kernels change across different power levels").
+
+Run:  python examples/power_sweep.py
+"""
+
+from repro import (
+    CRILL_POWER_LEVELS,
+    ExperimentSetup,
+    crill,
+    run_arcs_offline,
+    run_default,
+    sp_application,
+)
+from repro.core.history import HistoryStore
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    app = sp_application("B")
+    spec = crill()
+    history = HistoryStore()
+
+    rows = []
+    configs_by_cap = {}
+    for cap in CRILL_POWER_LEVELS:
+        cap_arg = None if cap >= spec.tdp_w else cap
+        label = "TDP" if cap_arg is None else f"{cap:g}W"
+        setup = ExperimentSetup(spec=spec, cap_w=cap_arg, repeats=3)
+        base = run_default(app, setup)
+        offline = run_arcs_offline(app, setup, history=history)
+        rows.append(
+            (
+                label,
+                f"{base.time_s:.2f}",
+                f"{offline.time_s / base.time_s:.3f}",
+                f"{offline.energy_j / base.energy_j:.3f}",
+            )
+        )
+        configs_by_cap[label] = offline.chosen_configs
+        print(f"  {label}: done")
+
+    print()
+    print(
+        format_table(
+            ("power", "default time (s)", "ARCS time (norm)",
+             "ARCS energy (norm)"),
+            rows,
+            title="SP-B, ARCS-Offline vs default across power levels",
+        )
+    )
+
+    print("\nChosen configuration for y_solve at each power level:")
+    for label, configs in configs_by_cap.items():
+        print(f"  {label:5s} -> {configs['y_solve'].label()}")
+
+
+if __name__ == "__main__":
+    main()

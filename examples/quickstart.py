@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: tune one OpenMP application under a power cap with ARCS.
+
+Builds the simulated Crill node (dual-socket Sandy Bridge), caps each
+package at 85 W via RAPL, runs NPB SP class B with the default OpenMP
+configuration, then with ARCS-Online (Nelder-Mead tuning in the same
+run) and ARCS-Offline (exhaustive tuning run + replayed best configs),
+and prints the comparison - a miniature of the paper's Figure 4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExperimentSetup,
+    crill,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+    sp_application,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    app = sp_application("B")
+    setup = ExperimentSetup(spec=crill(), cap_w=85.0, repeats=3)
+
+    print(f"Running {app.label} on {setup.spec.name} @ {setup.cap_w} W "
+          f"(3 repeats, mean reported) ...")
+    base = run_default(app, setup)
+    online = run_arcs_online(app, setup)
+    offline = run_arcs_offline(app, setup)
+
+    rows = []
+    for result in (base, online, offline):
+        rows.append(
+            (
+                result.strategy,
+                f"{result.time_s:.3f}",
+                f"{result.time_s / base.time_s:.3f}",
+                f"{result.energy_j:.1f}",
+                f"{result.energy_j / base.energy_j:.3f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("strategy", "time (s)", "norm", "pkg energy (J)", "norm"),
+            rows,
+            title=f"{app.label} under an {setup.cap_w:g} W package cap",
+        )
+    )
+
+    print("\nPer-region configurations chosen by ARCS-Offline:")
+    for region, config in sorted(offline.chosen_configs.items()):
+        print(f"  {region:16s} -> {config.label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or plain ``pip install -e .`` on a machine with
+wheel) uses this legacy path instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

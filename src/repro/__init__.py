@@ -1,0 +1,72 @@
+"""repro - reproduction of ARCS (CLUSTER 2016).
+
+ARCS: Adaptive Runtime Configuration Selection for Power-Constrained
+OpenMP Applications.  See README.md for the architecture overview and
+DESIGN.md for the paper-to-module map.
+
+Public API quick reference::
+
+    from repro import (
+        SimulatedNode, crill, minotaur,      # machine substrate
+        OpenMPRuntime, OMPConfig, ScheduleKind,
+        ARCS, HistoryStore,                  # the paper's contribution
+        sp_application, bt_application, lulesh_application,
+        run_application,
+        ExperimentSetup, run_strategy, CRILL_POWER_LEVELS,
+    )
+"""
+
+from repro.core.controller import ARCS
+from repro.core.history import HistoryStore, experiment_key
+from repro.experiments.runner import (
+    CRILL_POWER_LEVELS,
+    ExperimentSetup,
+    StrategyRunResult,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+    run_strategy,
+)
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import MachineSpec, crill, machine_by_name, minotaur
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.types import OMPConfig, ScheduleKind, default_config
+from repro.workloads.base import Application, RegionCall, run_application
+from repro.workloads.bt import bt_application
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.registry import application_by_name
+from repro.workloads.sp import sp_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCS",
+    "Application",
+    "CRILL_POWER_LEVELS",
+    "ExperimentSetup",
+    "HistoryStore",
+    "ImbalanceSpec",
+    "MachineSpec",
+    "OMPConfig",
+    "OpenMPRuntime",
+    "RegionCall",
+    "RegionProfile",
+    "ScheduleKind",
+    "SimulatedNode",
+    "StrategyRunResult",
+    "application_by_name",
+    "bt_application",
+    "crill",
+    "default_config",
+    "experiment_key",
+    "lulesh_application",
+    "machine_by_name",
+    "minotaur",
+    "run_application",
+    "run_arcs_offline",
+    "run_arcs_online",
+    "run_default",
+    "run_strategy",
+    "sp_application",
+]

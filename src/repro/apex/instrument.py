@@ -1,0 +1,114 @@
+"""The APEX <-> OMPT bridge.
+
+"The OMPT interface starts a timer upon entry to an OpenMP parallel
+region and stops that timer upon exit" (Section III-B).  The bridge
+registers OMPT callbacks on a runtime, drives the timer registry and
+the policy engine, and charges the *APEX instrumentation overhead*
+(Section III-C) to the simulated clock for every instrumented event.
+"""
+
+from __future__ import annotations
+
+from repro.apex.introspection import Introspection
+from repro.apex.policy import PolicyEngine, TimerEventContext
+from repro.apex.timers import TimerRegistry
+from repro.openmp.ompt import (
+    OmptEvent,
+    ParallelBeginPayload,
+    ParallelEndPayload,
+)
+from repro.openmp.runtime import OpenMPRuntime
+
+#: time charged per instrumented OMPT event (timer start or stop):
+#: measurement glue, map lookups, policy dispatch.
+APEX_EVENT_OVERHEAD_S = 12.0e-6
+
+
+class ApexOmptBridge:
+    """Connects one APEX instance to one OpenMP runtime via OMPT."""
+
+    def __init__(self, runtime: OpenMPRuntime) -> None:
+        self.runtime = runtime
+        self.introspection = Introspection(runtime.node)
+        self.timers = TimerRegistry()
+        self.policy_engine = PolicyEngine(introspection=self.introspection)
+        self._first_by_name: dict[str, bool] = {}
+        self._attached = False
+        self.instrumentation_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Register the OMPT callbacks (idempotent errors on re-attach)."""
+        if self._attached:
+            raise RuntimeError("APEX bridge is already attached")
+        self.runtime.ompt.register(
+            OmptEvent.PARALLEL_BEGIN, self._on_parallel_begin
+        )
+        self.runtime.ompt.register(
+            OmptEvent.PARALLEL_END, self._on_parallel_end
+        )
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            raise RuntimeError("APEX bridge is not attached")
+        self.runtime.ompt.unregister(
+            OmptEvent.PARALLEL_BEGIN, self._on_parallel_begin
+        )
+        self.runtime.ompt.unregister(
+            OmptEvent.PARALLEL_END, self._on_parallel_end
+        )
+        self._attached = False
+
+    def shutdown(self) -> None:
+        """Paper: "When the program completes, the policy saves the best
+        parameters found during the search" - policies do that in their
+        ``on_shutdown``."""
+        self.policy_engine.shutdown()
+        if self._attached:
+            self.detach()
+
+    # ------------------------------------------------------------------
+    def _charge_overhead(self) -> None:
+        node = self.runtime.node
+        node.advance(APEX_EVENT_OVERHEAD_S)
+        self.instrumentation_time_s += APEX_EVENT_OVERHEAD_S
+        f = node.frequency.frequency_for_cap(
+            node.rapl.effective_cap_w(0, node.now_s), n_active=1
+        )
+        node.deposit_energy(
+            0,
+            (node.power.core_dynamic_w(f) + node.power.uncore_w(f))
+            * APEX_EVENT_OVERHEAD_S,
+        )
+
+    def _on_parallel_begin(self, payload: ParallelBeginPayload) -> None:
+        self._charge_overhead()
+        _timer, first = self.timers.start(
+            payload.region_name, self.runtime.node.now_s
+        )
+        self._first_by_name[payload.region_name] = first
+        self.policy_engine.timer_started(
+            TimerEventContext(
+                timer_name=payload.region_name,
+                now_s=self.runtime.node.now_s,
+                first_encounter=first,
+            )
+        )
+
+    def _on_parallel_end(self, payload: ParallelEndPayload) -> None:
+        self._charge_overhead()
+        elapsed = self.timers.stop(
+            payload.region_name, self.runtime.node.now_s
+        )
+        self.policy_engine.timer_stopped(
+            TimerEventContext(
+                timer_name=payload.region_name,
+                now_s=self.runtime.node.now_s,
+                first_encounter=self._first_by_name.get(
+                    payload.region_name, False
+                ),
+                elapsed_s=elapsed,
+                record=payload.record,
+            )
+        )

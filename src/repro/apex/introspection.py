@@ -1,0 +1,48 @@
+"""APEX introspection: real-time access to node power/energy state.
+
+APEX "can provide introspection from timers, counters, node- or
+machine-wide resource utilization data, energy consumption, and system
+health, all accessed in real-time".  Here introspection reads the
+simulated node's RAPL counters and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.node import SimulatedNode
+
+
+@dataclass
+class Introspection:
+    """Read-only view over a node for policies."""
+
+    node: SimulatedNode
+    _last_energy_j: float = 0.0
+    _last_time_s: float = 0.0
+
+    def now_s(self) -> float:
+        return self.node.now_s
+
+    def package_energy_j(self) -> float:
+        """Total package energy (raises on machines without counters)."""
+        return self.node.read_package_energy_j()
+
+    def current_power_w(self) -> float:
+        """Average power since the previous call (RAPL-style sampling);
+        0.0 until time advances."""
+        energy = self.package_energy_j()
+        now = self.node.now_s
+        dt = now - self._last_time_s
+        de = energy - self._last_energy_j
+        self._last_energy_j = energy
+        self._last_time_s = now
+        if dt <= 0:
+            return 0.0
+        return de / dt
+
+    def power_caps_w(self) -> tuple[float | None, ...]:
+        return tuple(
+            self.node.rapl.effective_cap_w(s, self.node.now_s)
+            for s in range(self.node.spec.sockets)
+        )

@@ -1,0 +1,113 @@
+"""A TAU-style OMPT profiler.
+
+Section V-C: "To understand why ARCS is performing poorly with LULESH
+on Crill, we did an extensive analysis.  We used TAU for our analysis.
+We profiled LULESH running with the default configuration at the
+highest power cap.  ...  Through three OMPT events we show how these
+regions spent their time" - ``OpenMP_IMPLICIT_TASK`` (inclusive region
+time), ``OpenMP_LOOP`` (loop-body time) and ``OpenMP_BARRIER``.
+
+:class:`TauProfiler` consumes exactly those OMPT events from the
+runtime and accumulates an inclusive-time profile per region, the data
+behind Figure 9.  It is independent of APEX (TAU is a separate tool in
+the paper's stack) and can be attached alongside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.openmp.ompt import DurationPayload, OmptEvent
+from repro.openmp.runtime import OpenMPRuntime
+
+
+@dataclass
+class TauRegionProfile:
+    """Accumulated OMPT event durations for one region."""
+
+    region_name: str
+    calls: int = 0
+    implicit_task_s: float = 0.0
+    loop_s: float = 0.0
+    barrier_s: float = 0.0
+
+    @property
+    def time_per_call_s(self) -> float:
+        return self.implicit_task_s / self.calls if self.calls else 0.0
+
+    @property
+    def barrier_fraction(self) -> float:
+        if self.implicit_task_s <= 0:
+            return 0.0
+        return self.barrier_s / self.implicit_task_s
+
+    @property
+    def loop_fraction(self) -> float:
+        if self.implicit_task_s <= 0:
+            return 0.0
+        return self.loop_s / self.implicit_task_s
+
+
+@dataclass
+class TauProfiler:
+    """OMPT-event profiler producing per-region inclusive breakdowns."""
+
+    regions: dict[str, TauRegionProfile] = field(default_factory=dict)
+    _attached_runtime: OpenMPRuntime | None = None
+
+    # ------------------------------------------------------------------
+    def attach(self, runtime: OpenMPRuntime) -> None:
+        if self._attached_runtime is not None:
+            raise RuntimeError("TauProfiler is already attached")
+        runtime.ompt.register(
+            OmptEvent.IMPLICIT_TASK, self._on_implicit_task
+        )
+        runtime.ompt.register(OmptEvent.WORK_LOOP, self._on_loop)
+        runtime.ompt.register(
+            OmptEvent.SYNC_REGION_BARRIER, self._on_barrier
+        )
+        self._attached_runtime = runtime
+
+    def detach(self) -> None:
+        runtime = self._attached_runtime
+        if runtime is None:
+            raise RuntimeError("TauProfiler is not attached")
+        runtime.ompt.unregister(
+            OmptEvent.IMPLICIT_TASK, self._on_implicit_task
+        )
+        runtime.ompt.unregister(OmptEvent.WORK_LOOP, self._on_loop)
+        runtime.ompt.unregister(
+            OmptEvent.SYNC_REGION_BARRIER, self._on_barrier
+        )
+        self._attached_runtime = None
+
+    # ------------------------------------------------------------------
+    def _bucket(self, name: str) -> TauRegionProfile:
+        bucket = self.regions.get(name)
+        if bucket is None:
+            bucket = TauRegionProfile(region_name=name)
+            self.regions[name] = bucket
+        return bucket
+
+    def _on_implicit_task(self, payload: DurationPayload) -> None:
+        bucket = self._bucket(payload.region_name)
+        bucket.calls += 1
+        bucket.implicit_task_s += payload.duration_s
+
+    def _on_loop(self, payload: DurationPayload) -> None:
+        self._bucket(payload.region_name).loop_s += payload.duration_s
+
+    def _on_barrier(self, payload: DurationPayload) -> None:
+        self._bucket(payload.region_name).barrier_s += payload.duration_s
+
+    # ------------------------------------------------------------------
+    def top_by_inclusive_time(self, n: int) -> list[TauRegionProfile]:
+        """The ``n`` most time-consuming regions (Figure 9's top-5)."""
+        return sorted(
+            self.regions.values(),
+            key=lambda r: r.implicit_task_s,
+            reverse=True,
+        )[:n]
+
+    def total_profiled_s(self) -> float:
+        return sum(r.implicit_task_s for r in self.regions.values())

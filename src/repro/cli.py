@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro search-space --machine crill
+    python -m repro run --app sp --workload B --machine crill \
+        --cap 85 --strategy arcs-offline
+    python -m repro sweep --app sp --workload B
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.core.history import HistoryStore
+from repro.experiments.figures import power_sweep
+from repro.experiments.reporting import render_sweep, render_table1
+from repro.experiments.runner import (
+    CRILL_POWER_LEVELS,
+    ExperimentSetup,
+    run_strategy,
+)
+from repro.experiments.tables import table1_search_space
+from repro.machine.spec import machine_by_name
+from repro.util.tables import format_table
+from repro.workloads.registry import application_by_name
+
+_STRATEGIES = ("default", "arcs-online", "arcs-offline")
+_APPS = ("sp", "bt", "lulesh", "synthetic")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ARCS (CLUSTER 2016) reproduction - run power-constrained "
+            "OpenMP tuning experiments on simulated machines"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications, machines, strategies")
+
+    space = sub.add_parser(
+        "search-space", help="print the Table I search parameters"
+    )
+    space.add_argument("--machine", default="crill")
+
+    run = sub.add_parser(
+        "run", help="run one (app, machine, cap, strategy) measurement"
+    )
+    run.add_argument("--app", choices=_APPS, default="sp")
+    run.add_argument("--workload", default=None,
+                     help="NPB class (B/C) or LULESH mesh (45/60)")
+    run.add_argument("--machine", default="crill")
+    run.add_argument("--cap", type=float, default=None,
+                     help="package power cap in watts (default: TDP)")
+    run.add_argument("--strategy", choices=_STRATEGIES,
+                     default="arcs-offline")
+    run.add_argument("--repeats", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--history", default=None,
+                     help="path to an ARCS history JSON file")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="default vs ARCS-Online vs ARCS-Offline across power levels",
+    )
+    sweep.add_argument("--app", choices=_APPS, default="sp")
+    sweep.add_argument("--workload", default=None)
+    sweep.add_argument("--machine", default="crill")
+    sweep.add_argument("--repeats", type=int, default=3)
+    return parser
+
+
+def _cmd_list() -> str:
+    rows = [
+        ("applications", ", ".join(_APPS)),
+        ("workloads", "sp/bt: B, C; lulesh: 45, 60"),
+        ("machines", "crill (Sandy Bridge), minotaur (POWER8)"),
+        ("strategies", ", ".join(_STRATEGIES)),
+        ("power levels (crill)",
+         ", ".join(f"{c:g}W" for c in CRILL_POWER_LEVELS)),
+    ]
+    return format_table(("what", "values"), rows)
+
+
+def _cmd_search_space(args: argparse.Namespace) -> str:
+    # validates the machine name as a side effect
+    machine_by_name(args.machine)
+    return render_table1(table1_search_space())
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    spec = machine_by_name(args.machine)
+    app = application_by_name(args.app, args.workload)
+    setup = ExperimentSetup(
+        spec=spec, cap_w=args.cap, repeats=args.repeats, seed=args.seed
+    )
+    history = HistoryStore(args.history) if args.history else None
+    result = run_strategy(args.strategy, app, setup, history=history)
+    cap = "TDP" if args.cap is None else f"{args.cap:g}W"
+    lines = [
+        f"{app.label} on {spec.name} @ {cap}, {args.strategy} "
+        f"({args.repeats} repeats, {setup.summary_mode}):",
+        f"  time   : {result.time_s:.3f} s",
+    ]
+    if result.energy_j is not None:
+        lines.append(f"  energy : {result.energy_j:.1f} J (package)")
+    if result.chosen_configs:
+        lines.append("  chosen configurations:")
+        for region, config in sorted(result.chosen_configs.items()):
+            lines.append(f"    {region:34s} {config.label()}")
+    if result.overhead is not None:
+        lines.append(
+            f"  overheads: config-change "
+            f"{result.overhead.config_change_s * 1e3:.1f} ms, "
+            f"instrumentation "
+            f"{result.overhead.instrumentation_s * 1e3:.1f} ms, "
+            f"search {result.overhead.search_s * 1e3:.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    spec = machine_by_name(args.machine)
+    app = application_by_name(args.app, args.workload)
+    caps = (
+        CRILL_POWER_LEVELS
+        if spec.supports_power_cap
+        else (spec.tdp_w,)
+    )
+    sweep = power_sweep(app, spec, caps, repeats=args.repeats)
+    return render_sweep(
+        sweep, f"{app.label} on {spec.name}: strategy comparison"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "search-space":
+        print(_cmd_search_space(args))
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""ARCS - Adaptive Runtime Configuration Selection.
+
+The paper's contribution: an APEX policy that gives every OpenMP
+parallel region its own Active Harmony tuning session and drives the
+OpenMP runtime's configuration (number of threads, schedule, chunk
+size) to the per-region optimum for the current power cap, either
+online (Nelder-Mead, converging within the run) or offline (exhaustive
+tuning run + replay of saved bests).
+"""
+
+from repro.core.config import (
+    ARCS_CHUNK_VALUES,
+    ARCS_SCHEDULE_VALUES,
+    arcs_thread_values,
+    config_from_point,
+    point_from_config,
+    search_space_for,
+)
+from repro.core.controller import ARCS
+from repro.core.history import HistoryStore
+from repro.core.overhead import OverheadReport
+from repro.core.policy import ArcsPolicy
+
+__all__ = [
+    "ARCS",
+    "ARCS_CHUNK_VALUES",
+    "ARCS_SCHEDULE_VALUES",
+    "ArcsPolicy",
+    "HistoryStore",
+    "OverheadReport",
+    "arcs_thread_values",
+    "config_from_point",
+    "point_from_config",
+    "search_space_for",
+]

@@ -1,0 +1,104 @@
+"""The ARCS history file.
+
+"When the program completes, the policy saves the best parameters
+found during the search.  When the same program is run again in the
+same configuration in the future, the saved values can be used instead
+of repeating the search process."  (Section III-B)
+
+Stored as JSON keyed by an experiment key (application | machine |
+power cap | workload), mapping region names to their best configuration
+and its measured objective.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+def _config_to_json(config: OMPConfig, value: float | None) -> dict:
+    return {
+        "n_threads": config.n_threads,
+        "schedule": config.schedule.value,
+        "chunk": config.chunk,
+        "value": value,
+    }
+
+
+def _config_from_json(blob: dict) -> tuple[OMPConfig, float | None]:
+    config = OMPConfig(
+        n_threads=int(blob["n_threads"]),
+        schedule=ScheduleKind(blob["schedule"]),
+        chunk=None if blob["chunk"] is None else int(blob["chunk"]),
+    )
+    value = blob.get("value")
+    return config, None if value is None else float(value)
+
+
+class HistoryStore:
+    """Best-configuration persistence, in memory or on disk.
+
+    Pass ``path=None`` for a purely in-memory store (used by the
+    experiment harness, which holds tuning and measured runs in one
+    process); pass a path to persist across processes.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = None if path is None else Path(path)
+        self._data: dict[str, dict[str, dict]] = {}
+        if self.path is not None and self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        key: str,
+        configs: dict[str, OMPConfig],
+        values: dict[str, float] | None = None,
+    ) -> None:
+        """Record best configs for experiment ``key`` and persist."""
+        values = values or {}
+        self._data[key] = {
+            region: _config_to_json(cfg, values.get(region))
+            for region, cfg in configs.items()
+        }
+        self._persist()
+
+    def load(self, key: str) -> dict[str, OMPConfig]:
+        """Best configs per region for ``key`` (KeyError if absent)."""
+        try:
+            blob = self._data[key]
+        except KeyError:
+            raise KeyError(f"no saved history for {key!r}") from None
+        return {
+            region: _config_from_json(entry)[0]
+            for region, entry in blob.items()
+        }
+
+    def load_values(self, key: str) -> dict[str, float | None]:
+        blob = self._data.get(key, {})
+        return {
+            region: _config_from_json(entry)[1]
+            for region, entry in blob.items()
+        }
+
+    def has(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+    def _persist(self) -> None:
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(self._data, indent=2))
+
+
+def experiment_key(
+    app: str, machine: str, cap_w: float | None, workload: str = ""
+) -> str:
+    """Canonical history key for one (app, machine, cap, workload)."""
+    cap = "tdp" if cap_w is None else f"{cap_w:g}W"
+    return f"{app}|{machine}|{cap}|{workload}"

@@ -1,0 +1,56 @@
+"""ARCS overhead accounting (paper Section III-C).
+
+Three overhead classes:
+
+* **Configuration changing** - time in ``omp_set_num_threads`` /
+  ``omp_set_schedule`` calls (~0.8 ms per change on Crill), present in
+  Online and Offline;
+* **APEX instrumentation** - per-event measurement cost, present in
+  both;
+* **Search** - extra time spent executing regions with sub-optimal
+  candidate configurations before convergence, Online only ("We
+  observed this overhead to reach as high as 10% of the total
+  execution time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harmony.session import TuningSession
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Aggregated overheads of one ARCS-driven application run."""
+
+    config_change_s: float
+    config_change_calls: int
+    instrumentation_s: float
+    search_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.config_change_s + self.instrumentation_s + self.search_s
+
+    def fraction_of(self, app_time_s: float) -> float:
+        if app_time_s <= 0:
+            return 0.0
+        return self.total_s / app_time_s
+
+
+def search_overhead_s(sessions: dict[str, TuningSession]) -> float:
+    """Estimate the search overhead across tuning sessions.
+
+    For each region: the time spent measuring candidates minus what the
+    same number of executions would have cost at the best configuration
+    found.  Sessions that never converged contribute their full excess.
+    """
+    total = 0.0
+    for session in sessions.values():
+        best = session.best_value()
+        if best is None or not session.search_values:
+            continue
+        measured = sum(session.search_values)
+        total += max(0.0, measured - best * len(session.search_values))
+    return total

@@ -1,0 +1,286 @@
+"""The ARCS policy - the heart of the framework.
+
+"Using the policy engine, we designed a policy to tune OpenMP thread
+count, schedule, and chunk size based upon the reduced search space
+... At program initialization, the policy registers itself with the
+APEX policy engine, and receives callbacks whenever an APEX timer is
+started or stopped. ... When a timer is started for a parallel region
+which has not been previously encountered, the policy starts an Active
+Harmony tuning session for that parallel region.  When a timer is
+stopped, the policy reports the time to complete the parallel region.
+When a timer is started for a parallel region which has been
+previously encountered, the policy sets the number of threads,
+schedule, and chunk size to the next value requested by the tuning
+session, or, if tuning has converged, to the converged values."
+(Section III-B)
+
+Modes:
+
+* *search* (default): per-region tuning sessions with a pluggable
+  Harmony strategy (``"nelder-mead"`` for ARCS-Online, ``"exhaustive"``
+  for the ARCS-Offline tuning run);
+* *replay*: apply configurations from a history file without
+  searching (the ARCS-Offline measured run);
+* *selective* (the paper's future-work extension): regions whose
+  per-call time is below a threshold are never tuned, avoiding the
+  Section V-C overhead collapse on tiny LULESH regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apex.policy import Policy, TimerEventContext
+from repro.core.config import (
+    config_from_point,
+    default_start_point,
+    search_space_for,
+)
+from repro.core.overhead import search_overhead_s
+from repro.harmony.engine import make_strategy
+from repro.harmony.session import TuningSession
+from repro.harmony.space import SearchSpace
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.types import OMPConfig
+from repro.util.rng import derive_seed
+
+
+#: objective functions available for tuning sessions.  The paper tunes
+#: for time; ``energy`` and ``edp`` (energy-delay product) are natural
+#: extensions once the DVFS dimension exists.
+OBJECTIVES = ("time", "energy", "edp")
+
+
+@dataclass
+class RegionTuningState:
+    """Bookkeeping the policy keeps per OpenMP region."""
+
+    session: TuningSession | None = None
+    applied: OMPConfig | None = None
+    applied_freq_ghz: float | None = None
+    skipped: bool = False          # selective mode opted out
+    first_elapsed_s: float | None = None
+    executions: int = 0
+
+
+class ArcsPolicy(Policy):
+    """APEX policy implementing ARCS."""
+
+    name = "arcs"
+
+    def __init__(
+        self,
+        runtime: OpenMPRuntime,
+        strategy: str = "nelder-mead",
+        space: SearchSpace | None = None,
+        max_evals: int = 40,
+        replay: dict[str, OMPConfig] | None = None,
+        selective_threshold_s: float | None = None,
+        cap_aware: bool = False,
+        objective: str = "time",
+        seed: int = 0,
+    ) -> None:
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}"
+            )
+        if objective != "time" and not (
+            runtime.node.spec.supports_energy_counters
+        ):
+            raise ValueError(
+                f"objective {objective!r} needs energy counters, which "
+                f"{runtime.node.spec.name} does not expose"
+            )
+        self.objective = objective
+        self.runtime = runtime
+        self.strategy_name = strategy
+        self.space = space or search_space_for(runtime.node.spec)
+        self.max_evals = max_evals
+        self.replay = dict(replay) if replay is not None else None
+        self.selective_threshold_s = selective_threshold_s
+        #: Section II: "the resource manager may ... adjust [nodes']
+        #: power level dynamically.  To get the best per node
+        #: performance at each power level, the runtime configurations
+        #: need to be changed dynamically."  With ``cap_aware`` the
+        #: policy keeps one tuning session per (region, power level):
+        #: a mid-run cap change opens fresh sessions instead of
+        #: trusting configurations tuned for the old level.
+        self.cap_aware = cap_aware
+        self.seed = seed
+        self.regions: dict[str, RegionTuningState] = {}
+        self._start_point = default_start_point(
+            runtime.node.spec, self.space
+        )
+
+    def _state_key(self, region_name: str) -> str:
+        if not self.cap_aware:
+            return region_name
+        cap = self.runtime.node.rapl.effective_cap_w(
+            0, self.runtime.node.now_s
+        )
+        cap_label = "tdp" if cap is None else f"{cap:g}W"
+        return f"{region_name}@{cap_label}"
+
+    # ------------------------------------------------------------------
+    # Policy callbacks
+    # ------------------------------------------------------------------
+    def on_timer_start(self, context: TimerEventContext) -> None:
+        key = self._state_key(context.timer_name)
+        state = self.regions.get(key)
+        if state is None:
+            state = RegionTuningState()
+            self.regions[key] = state
+        state.executions += 1
+
+        if self.replay is not None:
+            config = self.replay.get(context.timer_name)
+            if config is not None:
+                self._apply(state, config)
+            return
+
+        if state.skipped:
+            return
+
+        if state.session is None:
+            if (
+                self.selective_threshold_s is not None
+                and state.first_elapsed_s is None
+            ):
+                # selective mode measures the first call with the
+                # current config before deciding whether to tune
+                return
+            state.session = self._new_session(
+                key, start=self._warm_start(context.timer_name)
+            )
+
+        point = state.session.suggest()
+        self._apply(state, config_from_point(point))
+        if "freq_ghz" in point:
+            freq = point["freq_ghz"]
+            freq = None if freq is None else float(freq)  # type: ignore[arg-type]
+            if freq != self.runtime.frequency_limit():
+                self.runtime.set_frequency_limit(freq)
+            state.applied_freq_ghz = freq
+
+    def on_timer_stop(self, context: TimerEventContext) -> None:
+        state = self.regions.get(self._state_key(context.timer_name))
+        if state is None or context.elapsed_s is None:
+            return
+        if state.first_elapsed_s is None:
+            state.first_elapsed_s = context.elapsed_s
+            if (
+                self.selective_threshold_s is not None
+                and self.replay is None
+                and state.session is None
+            ):
+                if context.elapsed_s < self.selective_threshold_s:
+                    state.skipped = True
+                return
+        if state.session is not None and self.replay is None:
+            state.session.report(self._objective_value(context))
+
+    def _objective_value(self, context: TimerEventContext) -> float:
+        if self.objective == "time" or context.record is None:
+            return context.elapsed_s or 0.0
+        if self.objective == "energy":
+            return context.record.energy_j
+        # energy-delay product
+        return context.record.energy_j * (context.elapsed_s or 0.0)
+
+    # ------------------------------------------------------------------
+    def _warm_start(self, region_name: str) -> tuple[int, ...] | None:
+        """In cap-aware mode, seed a new power level's search with the
+        best configuration found for the same region at the previous
+        level - optima shift with the cap but rarely jump far, so the
+        re-tuning search converges much faster."""
+        if not self.cap_aware:
+            return None
+        best: tuple[int, ...] | None = None
+        for key, state in self.regions.items():
+            if key.split("@")[0] != region_name:
+                continue
+            if state.session is None:
+                continue
+            point = state.session.best_point()
+            if point is not None:
+                best = self.space.encode(point)
+        return best
+
+    def _new_session(
+        self, region_name: str, start: tuple[int, ...] | None = None
+    ) -> TuningSession:
+        strategy = make_strategy(
+            self.strategy_name,
+            self.space,
+            max_evals=self.max_evals,
+            seed=derive_seed(self.seed, "arcs-session", region_name),
+            start=start if start is not None else self._start_point,
+        )
+        return TuningSession(self.space, strategy)
+
+    def _apply(self, state: RegionTuningState, config: OMPConfig) -> None:
+        """Drive the runtime to ``config``; only touches the runtime
+        routines whose value actually changes (each call costs real
+        configuration-changing overhead)."""
+        current = self.runtime.current_config()
+        if config.n_threads != current.n_threads:
+            self.runtime.omp_set_num_threads(config.n_threads)
+        if (config.schedule, config.chunk) != (
+            current.schedule,
+            current.chunk,
+        ):
+            self.runtime.omp_set_schedule(config.schedule, config.chunk)
+        state.applied = config
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def sessions(self) -> dict[str, TuningSession]:
+        return {
+            name: state.session
+            for name, state in self.regions.items()
+            if state.session is not None
+        }
+
+    def all_converged(self) -> bool:
+        """True when every tuned region's session has converged (regions
+        skipped by selective mode and replayed regions count as done)."""
+        sessions = self.sessions()
+        if self.replay is not None:
+            return True
+        if not sessions:
+            return False
+        return all(s.converged for s in sessions.values())
+
+    def best_configs(self) -> dict[str, OMPConfig]:
+        """Best configuration found per region (search modes), or the
+        replayed mapping."""
+        if self.replay is not None:
+            return dict(self.replay)
+        configs = {}
+        for name, session in self.sessions().items():
+            point = session.best_point()
+            if point is not None:
+                configs[name] = config_from_point(point)
+        return configs
+
+    def best_points(self) -> dict[str, dict[str, object]]:
+        """Full best search-space points (including the ``freq_ghz``
+        dimension when tuning with DVFS)."""
+        points = {}
+        for name, session in self.sessions().items():
+            point = session.best_point()
+            if point is not None:
+                points[name] = point
+        return points
+
+    def best_values(self) -> dict[str, float]:
+        values = {}
+        for name, session in self.sessions().items():
+            value = session.best_value()
+            if value is not None:
+                values[name] = value
+        return values
+
+    def search_overhead_s(self) -> float:
+        return search_overhead_s(self.sessions())

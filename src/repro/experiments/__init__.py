@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+:mod:`repro.experiments.runner` orchestrates the three measurement
+modes the paper compares (default, ARCS-Online, ARCS-Offline) with the
+paper's repeat methodology (three runs; average on Crill, minimum on
+Minotaur).  :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.tables` generate the data behind every figure
+and table in Section V; :mod:`repro.experiments.reporting` renders them
+as paper-style text tables.
+"""
+
+from repro.experiments.metrics import improvement_pct, normalized_series
+from repro.experiments.runner import (
+    CRILL_POWER_LEVELS,
+    ExperimentSetup,
+    StrategyRunResult,
+    fresh_runtime,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+    run_strategy,
+)
+
+__all__ = [
+    "CRILL_POWER_LEVELS",
+    "ExperimentSetup",
+    "StrategyRunResult",
+    "fresh_runtime",
+    "improvement_pct",
+    "normalized_series",
+    "run_arcs_offline",
+    "run_arcs_online",
+    "run_default",
+    "run_strategy",
+]

@@ -1,0 +1,52 @@
+"""Comparison metrics used by the figure generators."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.runner import StrategyRunResult
+from repro.util.stats import improvement_pct
+
+__all__ = ["improvement_pct", "normalized_series", "best_improvement"]
+
+
+def normalized_series(
+    baseline: StrategyRunResult,
+    others: Sequence[StrategyRunResult],
+    metric: str = "time",
+) -> dict[str, float]:
+    """Normalize ``others`` to ``baseline`` (paper figures plot
+    normalized values; < 1.0 means better than default).
+
+    ``metric`` is ``"time"`` or ``"energy"``.
+    """
+    base = _metric(baseline, metric)
+    out = {baseline.strategy: 1.0}
+    for result in others:
+        out[result.strategy] = _metric(result, metric) / base
+    return out
+
+
+def best_improvement(
+    baseline: StrategyRunResult,
+    others: Sequence[StrategyRunResult],
+    metric: str = "time",
+) -> float:
+    """Largest percentage improvement over the baseline."""
+    base = _metric(baseline, metric)
+    return max(
+        improvement_pct(base, _metric(r, metric)) for r in others
+    )
+
+
+def _metric(result: StrategyRunResult, metric: str) -> float:
+    if metric == "time":
+        return result.time_s
+    if metric == "energy":
+        if result.energy_j is None:
+            raise ValueError(
+                f"{result.machine} has no energy counters; "
+                "energy metric unavailable"
+            )
+        return result.energy_j
+    raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,127 @@
+"""Paper-style text rendering of figure/table data."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    FEATURES,
+    FeatureComparison,
+    Fig1Row,
+    Fig9Row,
+    PowerSweep,
+)
+from repro.experiments.tables import Table1Row, Table2Row
+from repro.util.tables import format_table
+
+STRATEGY_ORDER = ("default", "arcs-online", "arcs-offline")
+
+
+def render_fig1(rows: list[Fig1Row]) -> str:
+    table_rows = []
+    for r in rows:
+        imp = r.improvement_pct
+        table_rows.append(
+            (
+                r.label,
+                r.config,
+                f"{r.time_s:.3f}",
+                "-" if r.default_time_s is None else f"{r.default_time_s:.3f}",
+                "-" if imp is None else f"{imp:.1f}%",
+            )
+        )
+    return format_table(
+        ("power", "configuration", "time (s)", "default (s)", "improvement"),
+        table_rows,
+        title=(
+            "Fig. 1: BT x_solve region - best vs default configuration "
+            "across power levels (smaller is better)"
+        ),
+    )
+
+
+def render_features(comparison: FeatureComparison, title: str) -> str:
+    rows = []
+    for region in comparison.regions:
+        feats = comparison.offline_normalized[region]
+        rows.append(
+            (
+                region,
+                comparison.offline_configs.get(region, "-"),
+                *(f"{feats[f]:.3f}" for f in FEATURES),
+            )
+        )
+    return format_table(
+        ("region", "ARCS-Offline config", *FEATURES),
+        rows,
+        title=title
+        + "  (feature values normalized to default = 1.0; smaller is "
+        "better)",
+    )
+
+
+def render_sweep(sweep: PowerSweep, title: str) -> str:
+    rows = []
+    for cap in sweep.caps:
+        label = sweep.cap_label(cap)
+        for strategy in STRATEGY_ORDER:
+            cell = sweep.cells.get((label, strategy))
+            if cell is None:
+                continue
+            rows.append(
+                (
+                    label,
+                    strategy,
+                    f"{cell.time_norm:.3f}",
+                    "-"
+                    if cell.energy_norm is None
+                    else f"{cell.energy_norm:.3f}",
+                )
+            )
+    return format_table(
+        ("power", "strategy", "time (norm)", "pkg energy (norm)"),
+        rows,
+        title=title + "  (normalized to default at the same power level)",
+    )
+
+
+def render_fig9(rows: list[Fig9Row]) -> str:
+    table_rows = [
+        (
+            r.region,
+            r.calls,
+            f"{r.implicit_task_s:.3f}",
+            f"{r.loop_s:.3f}",
+            f"{r.barrier_s:.3f}",
+            f"{r.time_per_call_s * 1e3:.3f}",
+        )
+        for r in rows
+    ]
+    return format_table(
+        (
+            "region",
+            "calls",
+            "IMPLICIT_TASK (s)",
+            "LOOP (s)",
+            "BARRIER (s)",
+            "per-call (ms)",
+        ),
+        table_rows,
+        title="Fig. 9: OMPT event data for top-5 LULESH regions (default "
+        "config, TDP)",
+    )
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    return format_table(
+        ("Parameter", "Set of values"),
+        [(r.parameter, r.values) for r in rows],
+        title="Table I: ARCS search parameters for OpenMP parallel regions",
+    )
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    return format_table(
+        ("Region", "Optimal Configuration (Thread, Schedule, Chunk)"),
+        [(r.region, r.config) for r in rows],
+        title="Table II: optimal configuration chosen by ARCS-Offline for "
+        "SP regions",
+    )

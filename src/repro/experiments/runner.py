@@ -1,0 +1,256 @@
+"""Strategy runners: default vs ARCS-Online vs ARCS-Offline.
+
+Methodology mirrors Section IV-D:
+
+* power caps {55, 70, 85, 100, 115(TDP)} W on Crill; Minotaur runs at
+  TDP only (no capping privilege) and reports time only;
+* every measurement is repeated three times; Crill reports the
+  average (dedicated machine), Minotaur the minimum (shared machine);
+* ARCS-Offline = exhaustive tuning run(s) followed by a measured run
+  that replays the saved best configurations ("Only the second
+  execution with the optimal configuration is measured");
+* ARCS-Online = Nelder-Mead searching and executing in the same run,
+  which *is* the measured run (search overhead included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import ARCS
+from repro.core.history import HistoryStore, experiment_key
+from repro.core.overhead import OverheadReport
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import MachineSpec
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.types import OMPConfig
+from repro.util.rng import derive_seed
+from repro.util.stats import summarize_runs
+from repro.workloads.base import Application, AppRunResult, run_application
+
+#: Crill power levels (W per package); None = uncapped TDP run.
+CRILL_POWER_LEVELS: tuple[float, ...] = (55.0, 70.0, 85.0, 100.0, 115.0)
+
+#: repeats per measurement, as in the paper.
+DEFAULT_REPEATS = 3
+
+#: upper bound on exhaustive tuning executions (the 162-point Crill
+#: space needs ~3 runs of a 60-step NPB app).
+MAX_TUNING_RUNS = 10
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Everything defining one measurement context."""
+
+    spec: MachineSpec
+    cap_w: float | None = None
+    repeats: int = DEFAULT_REPEATS
+    seed: int = 0
+    noise_sigma: float = 0.01
+    online_max_evals: int = 40
+
+    @property
+    def summary_mode(self) -> str:
+        """Crill was dedicated (average); Minotaur shared (minimum)."""
+        return "min" if self.spec.name == "minotaur" else "mean"
+
+
+@dataclass(frozen=True)
+class StrategyRunResult:
+    """Summarized measurement of one (app, strategy, cap)."""
+
+    strategy: str
+    app_label: str
+    machine: str
+    cap_w: float | None
+    time_s: float
+    energy_j: float | None
+    runs: tuple[AppRunResult, ...]
+    chosen_configs: dict[str, OMPConfig] = field(default_factory=dict)
+    overhead: OverheadReport | None = None
+    tuning_runs: int = 0
+
+    @property
+    def representative(self) -> AppRunResult:
+        return self.runs[-1]
+
+
+def fresh_runtime(
+    setup: ExperimentSetup, run_index: int = 0
+) -> OpenMPRuntime:
+    """A new node + runtime with the power cap applied and settled."""
+    node = SimulatedNode(setup.spec)
+    runtime = OpenMPRuntime(
+        node,
+        seed=derive_seed(setup.seed, "run", run_index),
+        noise_sigma=setup.noise_sigma,
+    )
+    if setup.cap_w is not None and setup.spec.supports_power_cap:
+        node.set_power_cap(setup.cap_w)
+        node.settle_after_cap()
+    return runtime
+
+
+def _summarize(
+    setup: ExperimentSetup, results: list[AppRunResult]
+) -> tuple[float, float | None]:
+    time_s = summarize_runs(
+        [r.time_s for r in results], setup.summary_mode
+    )
+    if results[0].energy_j is None:
+        return time_s, None
+    energy_j = summarize_runs(
+        [r.energy_j for r in results], setup.summary_mode  # type: ignore[misc]
+    )
+    return time_s, energy_j
+
+
+# ---------------------------------------------------------------------------
+def run_default(
+    app: Application, setup: ExperimentSetup
+) -> StrategyRunResult:
+    """The paper's baseline: no APEX, no tuning, default configuration
+    (max threads, default static)."""
+    results = []
+    for r in range(setup.repeats):
+        runtime = fresh_runtime(setup, run_index=r)
+        results.append(run_application(app, runtime))
+    time_s, energy_j = _summarize(setup, results)
+    return StrategyRunResult(
+        strategy="default",
+        app_label=app.label,
+        machine=setup.spec.name,
+        cap_w=setup.cap_w,
+        time_s=time_s,
+        energy_j=energy_j,
+        runs=tuple(results),
+    )
+
+
+def run_arcs_online(
+    app: Application,
+    setup: ExperimentSetup,
+    selective_threshold_s: float | None = None,
+) -> StrategyRunResult:
+    """ARCS-Online: Nelder-Mead tunes within the measured run.
+
+    ``selective_threshold_s`` enables the paper's future-work selective
+    mode: regions whose first measured call is shorter than the
+    threshold are never tuned (used by the selective-tuning ablation).
+    """
+    results = []
+    configs: dict[str, OMPConfig] = {}
+    overhead: OverheadReport | None = None
+    for r in range(setup.repeats):
+        runtime = fresh_runtime(setup, run_index=r)
+        arcs = ARCS(
+            runtime,
+            strategy="nelder-mead",
+            max_evals=setup.online_max_evals,
+            seed=derive_seed(setup.seed, "online", r),
+            selective_threshold_s=selective_threshold_s,
+        )
+        arcs.attach()
+        results.append(run_application(app, runtime))
+        configs = arcs.chosen_configs()
+        overhead = arcs.overhead_report()
+        arcs.finalize()
+    time_s, energy_j = _summarize(setup, results)
+    return StrategyRunResult(
+        strategy="arcs-online"
+        if selective_threshold_s is None
+        else "arcs-online-selective",
+        app_label=app.label,
+        machine=setup.spec.name,
+        cap_w=setup.cap_w,
+        time_s=time_s,
+        energy_j=energy_j,
+        runs=tuple(results),
+        chosen_configs=configs,
+        overhead=overhead,
+    )
+
+
+def run_arcs_offline(
+    app: Application,
+    setup: ExperimentSetup,
+    history: HistoryStore | None = None,
+) -> StrategyRunResult:
+    """ARCS-Offline: exhaustive tuning run(s) produce a history file;
+    the measured runs replay it.
+
+    If ``history`` already holds configurations for this experiment
+    key, tuning is skipped ("the saved values can be used instead of
+    repeating the search process").
+    """
+    history = history if history is not None else HistoryStore()
+    key = experiment_key(
+        app.name, setup.spec.name, setup.cap_w, app.workload
+    )
+    tuning_runs = 0
+    if not history.has(key):
+        runtime = fresh_runtime(setup, run_index=1000)
+        arcs = ARCS(
+            runtime,
+            strategy="exhaustive",
+            history=history,
+            history_key=key,
+            seed=derive_seed(setup.seed, "offline-tuning"),
+        )
+        arcs.attach()
+        while tuning_runs < MAX_TUNING_RUNS:
+            run_application(app, runtime)
+            tuning_runs += 1
+            if arcs.converged:
+                break
+        arcs.finalize()
+
+    results = []
+    overhead: OverheadReport | None = None
+    for r in range(setup.repeats):
+        runtime = fresh_runtime(setup, run_index=r)
+        arcs = ARCS(
+            runtime,
+            strategy="exhaustive",  # unused in replay mode
+            history=history,
+            history_key=key,
+            replay=True,
+        )
+        arcs.attach()
+        results.append(run_application(app, runtime))
+        overhead = arcs.overhead_report()
+        arcs.finalize()
+    time_s, energy_j = _summarize(setup, results)
+    return StrategyRunResult(
+        strategy="arcs-offline",
+        app_label=app.label,
+        machine=setup.spec.name,
+        cap_w=setup.cap_w,
+        time_s=time_s,
+        energy_j=energy_j,
+        runs=tuple(results),
+        chosen_configs=history.load(key),
+        overhead=overhead,
+        tuning_runs=tuning_runs,
+    )
+
+
+def run_strategy(
+    name: str,
+    app: Application,
+    setup: ExperimentSetup,
+    history: HistoryStore | None = None,
+) -> StrategyRunResult:
+    """Dispatch by strategy name: default / arcs-online / arcs-offline."""
+    key = name.lower()
+    if key == "default":
+        return run_default(app, setup)
+    if key in ("arcs-online", "online"):
+        return run_arcs_online(app, setup)
+    if key in ("arcs-offline", "offline"):
+        return run_arcs_offline(app, setup, history=history)
+    raise ValueError(
+        f"unknown strategy {name!r}; known: default, arcs-online, "
+        "arcs-offline"
+    )

@@ -1,0 +1,78 @@
+"""Data generators for the paper's tables.
+
+* **Table I** - the ARCS search-parameter sets per machine;
+* **Table II** - the optimal configuration chosen by ARCS-Offline for
+  SP's four major regions at TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import arcs_thread_values
+from repro.core.history import HistoryStore
+from repro.experiments.figures import SP_MAJOR_REGIONS
+from repro.experiments.runner import ExperimentSetup, run_arcs_offline
+from repro.machine.spec import MachineSpec, crill, minotaur
+from repro.workloads.sp import sp_application
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    parameter: str
+    values: str
+
+
+def table1_search_space(
+    primary: MachineSpec | None = None,
+    secondary: MachineSpec | None = None,
+) -> list[Table1Row]:
+    """Table I: the set of ARCS search parameters."""
+    primary = primary or crill()
+    secondary = secondary or minotaur()
+
+    def fmt_threads(spec: MachineSpec) -> str:
+        return ", ".join(
+            str(v) for v in arcs_thread_values(spec)
+        ) + ", default"
+
+    return [
+        Table1Row(
+            parameter=f"Number of threads ({primary.name.capitalize()})",
+            values=fmt_threads(primary),
+        ),
+        Table1Row(
+            parameter=f"Number of threads ({secondary.name.capitalize()})",
+            values=fmt_threads(secondary),
+        ),
+        Table1Row(
+            parameter="Schedule Type",
+            values="dynamic, static, guided, default",
+        ),
+        Table1Row(
+            parameter="Chunk Size",
+            values="1, 8, 16, 32, 64, 128, 256, 512, default",
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    region: str
+    config: str
+
+
+def table2_sp_optimal_configs(
+    setup: ExperimentSetup | None = None,
+    history: HistoryStore | None = None,
+) -> list[Table2Row]:
+    """Table II: optimal configurations chosen by ARCS-Offline for SP's
+    four most time-consuming regions at TDP."""
+    setup = setup or ExperimentSetup(spec=crill(), repeats=1)
+    result = run_arcs_offline(
+        sp_application("B"), setup, history=history
+    )
+    return [
+        Table2Row(region=name, config=result.chosen_configs[name].label())
+        for name in SP_MAJOR_REGIONS
+    ]

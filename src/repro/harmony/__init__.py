@@ -1,0 +1,33 @@
+"""Active Harmony search engine (re-implemented).
+
+"APEX integrates the auto-tuning and optimization search framework
+Active Harmony ... Active Harmony implements several search methods,
+including exhaustive search, Parallel Rank Order and Nelder-Mead.  In
+this work, we used the exhaustive and Nelder-Mead search algorithms."
+(Section III-B)
+
+This package provides the tuning-session abstraction (ask/tell over a
+discrete, partly-categorical search space) and the cited strategies,
+plus a random-search baseline for ablations.
+"""
+
+from repro.harmony.engine import STRATEGIES, make_strategy
+from repro.harmony.exhaustive import ExhaustiveSearch
+from repro.harmony.neldermead import NelderMeadSearch
+from repro.harmony.pro import ParallelRankOrderSearch
+from repro.harmony.random_search import RandomSearch
+from repro.harmony.session import SearchStrategy, TuningSession
+from repro.harmony.space import Parameter, SearchSpace
+
+__all__ = [
+    "STRATEGIES",
+    "ExhaustiveSearch",
+    "NelderMeadSearch",
+    "ParallelRankOrderSearch",
+    "Parameter",
+    "RandomSearch",
+    "SearchSpace",
+    "SearchStrategy",
+    "TuningSession",
+    "make_strategy",
+]

@@ -1,0 +1,49 @@
+"""Exhaustive search - the ARCS-Offline tuning-run strategy.
+
+"the method uses an exhaustive search to find the best configuration
+during one execution, then executes again with that optimal
+configuration."  (Section III-B)
+"""
+
+from __future__ import annotations
+
+from repro.harmony.session import SearchStrategy
+from repro.harmony.space import SearchSpace
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Enumerates every point of the space once, in row-major order."""
+
+    def __init__(self, space: SearchSpace) -> None:
+        super().__init__(space)
+        self._iter = space.iter_indices()
+        self._pending: tuple[int, ...] | None = None
+        self._remaining = space.size
+        self._best: tuple[tuple[int, ...], float] | None = None
+
+    def ask(self) -> tuple[int, ...] | None:
+        if self._pending is not None:
+            return self._pending
+        if self._remaining == 0:
+            return None
+        self._pending = next(self._iter)
+        return self._pending
+
+    def tell(self, indices: tuple[int, ...], value: float) -> None:
+        if self._pending is None or indices != self._pending:
+            raise ValueError(
+                f"tell({indices}) does not match the outstanding ask "
+                f"({self._pending})"
+            )
+        if self._best is None or value < self._best[1]:
+            self._best = (indices, value)
+        self._pending = None
+        self._remaining -= 1
+
+    @property
+    def converged(self) -> bool:
+        return self._remaining == 0 and self._pending is None
+
+    @property
+    def best(self) -> tuple[tuple[int, ...], float] | None:
+        return self._best

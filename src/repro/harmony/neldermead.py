@@ -1,0 +1,84 @@
+"""Nelder-Mead simplex search - the ARCS-Online strategy.
+
+"The ARCS-Online method uses the Nelder-Mead search algorithm to
+search for and use an optimal configuration in the same execution."
+(Section III-B)
+
+The classic downhill simplex (reflection / expansion / contraction /
+shrink) runs on a continuous relaxation of the discrete index lattice;
+candidates are rounded to the nearest lattice point, with a point
+cache so lattice revisits are free.  Termination: the simplex collapses
+to one lattice point, stalls, or the evaluation budget runs out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.harmony.simplex import SimplexSearchBase
+
+_ALPHA = 1.0   # reflection
+_GAMMA = 2.0   # expansion
+_RHO = 0.5     # contraction
+_SIGMA = 0.5   # shrink
+
+#: give up after this many consecutive iterations without improvement.
+_STALL_LIMIT = 6
+
+
+class NelderMeadSearch(SimplexSearchBase):
+    """Discrete-lattice Nelder-Mead."""
+
+    def _algorithm(self) -> Generator[tuple[int, ...], float, None]:
+        d = self.space.dimensions
+        vertices = self._initial_simplex(d + 1)
+        values = []
+        for v in vertices:
+            values.append((yield from self._evaluate(v)))
+
+        stall = 0
+        while True:
+            order = np.argsort(values, kind="stable")
+            vertices = [vertices[i] for i in order]
+            values = [values[i] for i in order]
+            if self._simplex_collapsed(vertices) or stall >= _STALL_LIMIT:
+                return
+
+            best_before = values[0]
+            centroid = np.mean(vertices[:-1], axis=0)
+            worst = vertices[-1]
+
+            reflected = centroid + _ALPHA * (centroid - worst)
+            f_reflected = yield from self._evaluate(reflected)
+
+            if f_reflected < values[0]:
+                expanded = centroid + _GAMMA * (reflected - centroid)
+                f_expanded = yield from self._evaluate(expanded)
+                if f_expanded < f_reflected:
+                    vertices[-1], values[-1] = expanded, f_expanded
+                else:
+                    vertices[-1], values[-1] = reflected, f_reflected
+            elif f_reflected < values[-2]:
+                vertices[-1], values[-1] = reflected, f_reflected
+            else:
+                contracted = centroid + _RHO * (worst - centroid)
+                f_contracted = yield from self._evaluate(contracted)
+                if f_contracted < values[-1]:
+                    vertices[-1], values[-1] = contracted, f_contracted
+                else:
+                    # shrink everything toward the best vertex
+                    new_vertices = [vertices[0]]
+                    new_values = [values[0]]
+                    for v in vertices[1:]:
+                        shrunk = vertices[0] + _SIGMA * (v - vertices[0])
+                        f_shrunk = yield from self._evaluate(shrunk)
+                        new_vertices.append(shrunk)
+                        new_values.append(f_shrunk)
+                    vertices, values = new_vertices, new_values
+
+            if min(values) < best_before - 1e-15:
+                stall = 0
+            else:
+                stall += 1

@@ -1,0 +1,73 @@
+"""Parallel Rank Order (PRO) search.
+
+Active Harmony's PRO algorithm (Tiwari et al.) maintains a simplex and,
+each round, reflects *every* non-best vertex through the best one,
+accepting improvements; if no reflection improves, the simplex
+contracts toward the best vertex.  The paper lists PRO among Active
+Harmony's methods (it used exhaustive and Nelder-Mead in the
+experiments); PRO is provided for the search-strategy ablation.
+
+In a single-application setting the "parallel" candidate evaluations
+are serialized through the ask/tell protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.harmony.simplex import SimplexSearchBase
+
+#: simplex size multiplier: PRO favours larger simplexes than NM.
+_VERTICES_PER_DIM = 3
+
+_MAX_ROUNDS = 64
+
+#: stop once the simplex diameter (continuous coordinates) shrinks
+#: below one lattice step in every dimension.
+_DIAMETER_TOL = 0.75
+
+
+class ParallelRankOrderSearch(SimplexSearchBase):
+    """Rank-order simplex search with reflect-all rounds."""
+
+    def _algorithm(self) -> Generator[tuple[int, ...], float, None]:
+        d = self.space.dimensions
+        n_vertices = max(d + 1, _VERTICES_PER_DIM * d)
+        vertices = self._initial_simplex(n_vertices)
+        values = []
+        for v in vertices:
+            values.append((yield from self._evaluate(v)))
+
+        for _ in range(_MAX_ROUNDS):
+            order = np.argsort(values, kind="stable")
+            vertices = [vertices[i] for i in order]
+            values = [values[i] for i in order]
+            diameter = max(
+                float(np.abs(v - vertices[0]).max())
+                for v in vertices[1:]
+            )
+            if diameter < _DIAMETER_TOL:
+                return
+            best_v = vertices[0]
+
+            improved = False
+            for i in range(1, len(vertices)):
+                reflected = 2.0 * best_v - vertices[i]
+                f_reflected = yield from self._evaluate(reflected)
+                if f_reflected < values[i]:
+                    # accept, and try to push further (expansion)
+                    expanded = 2.0 * reflected - best_v
+                    f_expanded = yield from self._evaluate(expanded)
+                    if f_expanded < f_reflected:
+                        vertices[i], values[i] = expanded, f_expanded
+                    else:
+                        vertices[i], values[i] = reflected, f_reflected
+                    improved = True
+
+            if not improved:
+                for i in range(1, len(vertices)):
+                    contracted = 0.5 * (vertices[i] + best_v)
+                    f_contracted = yield from self._evaluate(contracted)
+                    vertices[i], values[i] = contracted, f_contracted

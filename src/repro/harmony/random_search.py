@@ -1,0 +1,59 @@
+"""Random search baseline (for the search-strategy ablation)."""
+
+from __future__ import annotations
+
+from repro.harmony.session import SearchStrategy
+from repro.harmony.space import SearchSpace
+from repro.util.rng import rng_for
+from repro.util.validation import require_positive
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling without replacement (up to the budget)."""
+
+    def __init__(
+        self, space: SearchSpace, max_evals: int = 48, seed: int = 0
+    ) -> None:
+        super().__init__(space)
+        require_positive("max_evals", max_evals)
+        self.max_evals = min(max_evals, space.size)
+        rng = rng_for(seed, "random-search", space.size)
+        seen: set[tuple[int, ...]] = set()
+        self._plan: list[tuple[int, ...]] = []
+        cards = [p.cardinality for p in space.parameters]
+        # rejection-sample distinct points; bounded because budget <= size
+        while len(self._plan) < self.max_evals:
+            point = tuple(int(rng.integers(0, c)) for c in cards)
+            if point not in seen:
+                seen.add(point)
+                self._plan.append(point)
+        self._next = 0
+        self._pending: tuple[int, ...] | None = None
+        self._best: tuple[tuple[int, ...], float] | None = None
+
+    def ask(self) -> tuple[int, ...] | None:
+        if self._pending is not None:
+            return self._pending
+        if self._next >= len(self._plan):
+            return None
+        self._pending = self._plan[self._next]
+        self._next += 1
+        return self._pending
+
+    def tell(self, indices: tuple[int, ...], value: float) -> None:
+        if self._pending is None or indices != self._pending:
+            raise ValueError(
+                f"tell({indices}) does not match the outstanding ask "
+                f"({self._pending})"
+            )
+        if self._best is None or value < self._best[1]:
+            self._best = (indices, value)
+        self._pending = None
+
+    @property
+    def converged(self) -> bool:
+        return self._pending is None and self._next >= len(self._plan)
+
+    @property
+    def best(self) -> tuple[tuple[int, ...], float] | None:
+        return self._best

@@ -1,0 +1,127 @@
+"""Tuning sessions: the ask/tell protocol between APEX and a strategy.
+
+A session mirrors Active Harmony's client workflow: the client fetches
+the next candidate configuration (``suggest``), runs with it, and
+reports the measured objective (``report``).  After the strategy
+converges, ``suggest`` returns the best point forever after - exactly
+the behaviour ARCS needs ("the policy sets the number of threads,
+schedule, and chunk size to the next value requested by the tuning
+session, or, if tuning has converged, to the converged values").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.harmony.space import SearchSpace
+
+
+class SearchStrategy(ABC):
+    """Strategy interface over index vectors."""
+
+    def __init__(self, space: SearchSpace) -> None:
+        self.space = space
+
+    @abstractmethod
+    def ask(self) -> tuple[int, ...] | None:
+        """Next index vector to evaluate, or ``None`` once converged."""
+
+    @abstractmethod
+    def tell(self, indices: tuple[int, ...], value: float) -> None:
+        """Report the objective for a previously asked vector."""
+
+    @property
+    @abstractmethod
+    def converged(self) -> bool: ...
+
+    @property
+    @abstractmethod
+    def best(self) -> tuple[tuple[int, ...], float] | None:
+        """Best (indices, value) seen so far, or None before any tell."""
+
+
+@dataclass
+class SessionStats:
+    suggestions: int = 0
+    reports: int = 0
+    converged_at_report: int | None = None
+
+
+class TuningSession:
+    """One per-region tuning session (ARCS keeps one per OpenMP region)."""
+
+    def __init__(self, space: SearchSpace, strategy: SearchStrategy) -> None:
+        if strategy.space is not space:
+            # identical content is fine, identity just the common case
+            if strategy.space != space:
+                raise ValueError(
+                    "strategy was built for a different search space"
+                )
+        self.space = space
+        self.strategy = strategy
+        self.stats = SessionStats()
+        #: objectives reported while searching (pre-convergence) - the
+        #: raw material of the Section III-C search-overhead estimate.
+        self.search_values: list[float] = []
+        self._outstanding: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        return self.strategy.converged
+
+    def best_point(self) -> dict[str, object] | None:
+        best = self.strategy.best
+        if best is None:
+            return None
+        return self.space.decode(best[0])
+
+    def best_value(self) -> float | None:
+        best = self.strategy.best
+        return None if best is None else best[1]
+
+    # ------------------------------------------------------------------
+    def suggest(self) -> dict[str, object]:
+        """Configuration to use for the next execution.
+
+        While searching this is the strategy's next candidate; once
+        converged it is the best known point.  A candidate stays
+        outstanding until :meth:`report` is called.
+        """
+        self.stats.suggestions += 1
+        if self._outstanding is not None:
+            return self.space.decode(self._outstanding)
+        if not self.strategy.converged:
+            indices = self.strategy.ask()
+            if indices is not None:
+                self._outstanding = self.space.clamp(indices)
+                return self.space.decode(self._outstanding)
+        best = self.strategy.best
+        if best is None:
+            raise RuntimeError(
+                "strategy converged without evaluating any point"
+            )
+        return self.space.decode(best[0])
+
+    def report(self, value: float) -> None:
+        """Report the objective for the outstanding candidate.
+
+        Reports made after convergence (the region keeps executing with
+        the converged config) are recorded in the stats but do not feed
+        the strategy.
+        """
+        if value != value or value < 0:  # NaN or negative
+            raise ValueError(
+                f"objective must be a non-negative number, got {value!r}"
+            )
+        self.stats.reports += 1
+        if self._outstanding is None:
+            return
+        self.search_values.append(value)
+        self.strategy.tell(self._outstanding, value)
+        self._outstanding = None
+        if self.strategy.converged and (
+            self.stats.converged_at_report is None
+        ):
+            self.stats.converged_at_report = self.stats.reports

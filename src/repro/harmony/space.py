@@ -1,0 +1,118 @@
+"""Search-space abstraction.
+
+Active Harmony tunes over *discrete ordered* parameters.  A
+:class:`Parameter` is a named, ordered tuple of admissible values
+(ints, strings, or ``None`` sentinels like Table I's "default"); a
+:class:`SearchSpace` is their Cartesian product.  Strategies operate on
+*index vectors* (one integer per parameter); the session decodes them
+into value mappings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from math import prod
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One tunable dimension with an ordered set of discrete values."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if len(self.values) == 0:
+            raise ValueError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(
+                f"parameter {self.name!r} has duplicate values"
+            )
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def value_at(self, index: int) -> object:
+        if not 0 <= index < len(self.values):
+            raise IndexError(
+                f"index {index} out of range for {self.name!r} "
+                f"({len(self.values)} values)"
+            )
+        return self.values[index]
+
+    def index_of(self, value: object) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a value of parameter {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Cartesian product of parameters."""
+
+    parameters: tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parameters) == 0:
+            raise ValueError("search space needs at least one parameter")
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+
+    @property
+    def size(self) -> int:
+        return prod(p.cardinality for p in self.parameters)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.parameters)
+
+    def clamp(self, indices: tuple[int, ...]) -> tuple[int, ...]:
+        """Clamp an index vector into bounds (strategies may propose
+        out-of-range moves)."""
+        self._check_arity(indices)
+        return tuple(
+            min(max(i, 0), p.cardinality - 1)
+            for i, p in zip(indices, self.parameters)
+        )
+
+    def decode(self, indices: tuple[int, ...]) -> dict[str, object]:
+        """Index vector -> {parameter name: value}."""
+        self._check_arity(indices)
+        return {
+            p.name: p.value_at(i)
+            for p, i in zip(self.parameters, indices)
+        }
+
+    def encode(self, point: dict[str, object]) -> tuple[int, ...]:
+        """{parameter name: value} -> index vector."""
+        missing = [p.name for p in self.parameters if p.name not in point]
+        if missing:
+            raise ValueError(f"point is missing parameters {missing}")
+        return tuple(p.index_of(point[p.name]) for p in self.parameters)
+
+    def iter_indices(self) -> Iterator[tuple[int, ...]]:
+        """Row-major enumeration of the full space."""
+
+        def rec(prefix: tuple[int, ...], dim: int) -> Iterator[tuple[int, ...]]:
+            if dim == len(self.parameters):
+                yield prefix
+                return
+            for i in range(self.parameters[dim].cardinality):
+                yield from rec(prefix + (i,), dim + 1)
+
+        yield from rec((), 0)
+
+    def _check_arity(self, indices: tuple[int, ...]) -> None:
+        if len(indices) != len(self.parameters):
+            raise ValueError(
+                f"index vector has {len(indices)} entries, space has "
+                f"{len(self.parameters)} parameters"
+            )

@@ -1,0 +1,242 @@
+"""Analytic cache-hierarchy model.
+
+Rather than trace-driven simulation (prohibitive in Python for the
+paper's workloads), each parallel region carries a *memory profile*
+(dominant stride, bytes touched per iteration, re-referenced
+neighbourhood, total footprint, reuse fraction) and the model predicts
+L1/L2/L3 miss rates from the mechanisms the paper invokes:
+
+* **L1 - spatial locality.**  A unit-stride stream misses once per
+  line (``stride/line``); strides beyond a line miss every access.
+  Chunks smaller than a few lines split lines between threads (false
+  sharing).  SMT siblings halve the private L1.
+* **L2 - per-thread live data.**  A thread's live set is its current
+  chunk span plus its share of the re-referenced neighbourhood; reuse
+  only pays off for the part that fits (SMT siblings split L2 too).
+* **L3 - streaming fronts in the shared cache.**  Loop iterations
+  re-reference a *neighbourhood* (stencil planes, element/nodal
+  fields).  Threads working on *nearby* iterations share that
+  neighbourhood constructively; threads spread across the iteration
+  space (the default config's block-static partition) each drag their
+  own neighbourhood through L3, multiplying the live set.  The live
+  set is ``fronts x neighbourhood + team chunk span``; reuse hits only
+  for the portion that fits in L3.  This is the paper's Section V-A
+  mechanism: the tuned configs "enabled different cores to maximize
+  their use of the shared L3 cache", and explains both the small
+  optimal thread counts (fewer fronts) and the schedule/chunk choices
+  (clustered fronts).
+
+The model returns hierarchical miss rates plus the per-access stall
+time, which the execution engine turns into the frequency-invariant
+memory component of region time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import CacheSpec
+from repro.util.validation import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory behaviour descriptor of one parallel region.
+
+    ``bytes_per_iter``: data touched by one iteration of the parallel
+    loop.  ``stride_bytes``: dominant access stride (8 = unit-stride
+    doubles; large values model e.g. BT's ``rhsz`` second-order stencil
+    with K +/- 2 plane strides).  ``footprint_bytes``: total region
+    working set.  ``reuse_fraction``: fraction of accesses that
+    re-touch neighbourhood data (hits if the neighbourhood is cache
+    -resident).  ``reuse_window_bytes``: the re-referenced
+    neighbourhood around the current iteration (e.g. five planes of
+    five variables for a K +/- 2 stencil); defaults to four iterations'
+    worth of data.
+    """
+
+    bytes_per_iter: float
+    stride_bytes: float = 8.0
+    footprint_bytes: float = 0.0
+    reuse_fraction: float = 0.3
+    reuse_window_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        require_positive("bytes_per_iter", self.bytes_per_iter)
+        require_positive("stride_bytes", self.stride_bytes)
+        require_nonnegative("footprint_bytes", self.footprint_bytes)
+        if not 0.0 <= self.reuse_fraction < 1.0:
+            raise ValueError(
+                f"reuse_fraction must be in [0, 1), got {self.reuse_fraction}"
+            )
+        if self.reuse_window_bytes is not None:
+            require_positive("reuse_window_bytes", self.reuse_window_bytes)
+
+    @property
+    def neighbourhood_bytes(self) -> float:
+        if self.reuse_window_bytes is not None:
+            return self.reuse_window_bytes
+        return 4.0 * self.bytes_per_iter
+
+
+@dataclass(frozen=True)
+class CacheTraffic:
+    """Predicted cache behaviour of one region execution.
+
+    Miss rates are *global*: ``l2_miss_rate`` is (accesses reaching
+    L3)/accesses, ``l3_miss_rate`` is (accesses reaching
+    DRAM)/accesses, matching how the paper's figures report miss rates.
+    """
+
+    accesses_per_iter: float
+    l1_miss_rate: float
+    l2_miss_rate: float
+    l3_miss_rate: float
+    stall_ns_per_access: float
+    dram_bytes_per_iter: float
+
+
+def _fit(live_bytes: float, capacity: float) -> float:
+    """Fraction of reuse that still hits when ``live_bytes`` compete
+    for ``capacity``.  1 while it fits, then a sharper-than-linear
+    falloff (eviction before reuse compounds under LRU)."""
+    if live_bytes <= capacity:
+        return 1.0
+    return (capacity / live_bytes) ** 1.5
+
+
+class CacheModel:
+    """Predicts miss rates for (memory profile, team shape, chunking)."""
+
+    #: residual miss rates of a perfectly resident working set
+    #: (cold/coherence misses never vanish on real hardware).
+    L1_FLOOR = 0.004
+    L2_FLOOR = 0.02
+    L3_FLOOR = 0.01
+
+    def __init__(
+        self,
+        spec: CacheSpec,
+        smt_conflict_l1: float = 0.35,
+        smt_conflict_l1_cap: float = 1.6,
+        smt_conflict_l2: float = 0.25,
+        smt_conflict_l2_cap: float = 1.5,
+    ) -> None:
+        self.spec = spec
+        self.smt_conflict_l1 = smt_conflict_l1
+        self.smt_conflict_l1_cap = smt_conflict_l1_cap
+        self.smt_conflict_l2 = smt_conflict_l2
+        self.smt_conflict_l2_cap = smt_conflict_l2_cap
+
+    def predict(
+        self,
+        profile: MemoryProfile,
+        n_iterations: int,
+        threads_on_socket: int,
+        team_threads: int,
+        avg_chunk_iters: float,
+        uncore_scale: float = 1.0,
+        smt_share: float = 1.0,
+    ) -> CacheTraffic:
+        """Predict cache behaviour for one socket's share of a region.
+
+        ``avg_chunk_iters`` is the mean scheduling quantum in
+        iterations; ``team_threads`` the whole team size (both sockets)
+        - together with the trip count they determine how *spread out*
+        the concurrent streaming fronts are.  ``smt_share`` is the
+        average team threads per active core on this socket (SMT
+        siblings split the private L1/L2).
+        """
+        require_positive("n_iterations", n_iterations)
+        require_positive("threads_on_socket", threads_on_socket)
+        require_positive("team_threads", team_threads)
+        require_positive("avg_chunk_iters", avg_chunk_iters)
+        require_positive("smt_share", smt_share)
+        spec = self.spec
+        l1_capacity = spec.l1_bytes / smt_share
+        l2_capacity = spec.l2_bytes / smt_share
+
+        accesses_per_iter = max(1.0, profile.bytes_per_iter / 8.0)
+        neighbourhood = profile.neighbourhood_bytes
+        chunk_bytes = avg_chunk_iters * profile.bytes_per_iter
+
+        # -- L1: spatial locality ---------------------------------------
+        stride_miss = min(1.0, profile.stride_bytes / spec.line_bytes)
+        locality_knee = 4.0 * spec.line_bytes
+        if chunk_bytes < locality_knee:
+            # line splitting / false sharing between threads
+            split_penalty = locality_knee / max(chunk_bytes, 1.0)
+            stride_miss = min(1.0, stride_miss * split_penalty)
+        l1_live = chunk_bytes + neighbourhood / max(1, team_threads)
+        l1_miss = self.L1_FLOOR + (1.0 - self.L1_FLOOR) * stride_miss * (
+            1.0 - profile.reuse_fraction * _fit(l1_live, l1_capacity)
+        )
+        # SMT co-residency adds conflict misses on top of the capacity
+        # split - hyperthreaded teams show visibly worse L1/L2 behaviour
+        # (part of the default config's penalty in Figures 3/6/10).
+        l1_miss = min(
+            1.0,
+            l1_miss
+            * min(
+                self.smt_conflict_l1_cap,
+                1.0 + self.smt_conflict_l1 * (smt_share - 1.0),
+            ),
+        )
+
+        # -- L2: per-thread live set -------------------------------------
+        l2_live = chunk_bytes + neighbourhood / max(1, threads_on_socket)
+        l2_local = self.L2_FLOOR + (1.0 - self.L2_FLOOR) * (
+            1.0 - profile.reuse_fraction * _fit(l2_live, l2_capacity)
+        )
+        l2_local = min(
+            1.0,
+            l2_local
+            * min(
+                self.smt_conflict_l2_cap,
+                1.0 + self.smt_conflict_l2 * (smt_share - 1.0),
+            ),
+        )
+
+        # -- L3: streaming fronts in the shared cache --------------------
+        # spread in [0,1]: how far apart the per-thread fronts are.
+        # Default static blocks (avg chunk = N/threads) give spread 1 -
+        # every thread drags its own neighbourhood; small chunks cluster
+        # all threads into one front.
+        spread = min(1.0, team_threads * avg_chunk_iters / n_iterations)
+        fronts = 1.0 + (threads_on_socket - 1) * spread
+        # long strides waste the unused part of each fetched line,
+        # inflating the resident set
+        line_util = min(1.0, spec.line_bytes / profile.stride_bytes)
+        # each thread's streaming contribution is bounded by the reuse
+        # horizon: data older than the neighbourhood is dead anyway.
+        l3_live = (
+            fronts * neighbourhood
+            + threads_on_socket * min(chunk_bytes, neighbourhood)
+        ) / max(line_util, 1e-6)
+        l3_local = self.L3_FLOOR + (1.0 - self.L3_FLOOR) * (
+            1.0 - profile.reuse_fraction * _fit(l3_live, spec.l3_bytes)
+        )
+
+        l1_miss = min(1.0, max(0.0, l1_miss))
+        l2_local = min(1.0, max(0.0, l2_local))
+        l3_local = min(1.0, max(0.0, l3_local))
+
+        l2_miss = l1_miss * l2_local          # reach L3
+        l3_miss = l2_miss * l3_local          # reach DRAM
+
+        stall_ns = (
+            l1_miss * spec.l2_latency_ns
+            + l2_miss * spec.l3_latency_ns * uncore_scale
+            + l3_miss * spec.dram_latency_ns
+        ) / spec.mlp
+
+        dram_bytes = l3_miss * accesses_per_iter * spec.line_bytes
+
+        return CacheTraffic(
+            accesses_per_iter=accesses_per_iter,
+            l1_miss_rate=l1_miss,
+            l2_miss_rate=l2_miss,
+            l3_miss_rate=l3_miss,
+            stall_ns_per_access=stall_ns,
+            dram_bytes_per_iter=dram_bytes,
+        )

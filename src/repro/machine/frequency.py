@@ -1,0 +1,96 @@
+"""DVFS model: map a package power cap to a sustainable core frequency.
+
+RAPL enforces a package cap by lowering the core frequency (and, in
+deep caps, effectively clock-gating).  The simulator inverts the power
+model: given a cap and the number of active/spinning cores on the
+package, find the largest frequency in ``[f_min, f_turbo]`` whose
+package draw fits under the cap.
+
+This inversion produces the paper's central mechanic: under a tight
+cap, a *smaller* team runs each thread faster, so the optimal thread
+count shifts downward as the cap drops (Figure 1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machine.power import PowerModel
+from repro.machine.spec import MachineSpec
+from repro.util.validation import require_positive
+
+_BISECT_ITERS = 60
+
+
+class FrequencyModel:
+    """Solves for the RAPL-constrained frequency of one package."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.power = PowerModel(spec)
+        self._solve_cached = lru_cache(maxsize=None)(self._solve)
+
+    def frequency_for_cap(
+        self,
+        cap_w: float | None,
+        n_active: int,
+        n_spin: int = 0,
+        smt_mult: float = 1.0,
+    ) -> float:
+        """Highest sustainable frequency (GHz) under ``cap_w``.
+
+        ``cap_w=None`` means uncapped (TDP-limited, per the paper's
+        "NO CAP (TDP)" runs).  The returned frequency is clamped to
+        ``[f_min, f_turbo]``: RAPL cannot push below the floor, so very
+        deep caps simply run at ``f_min`` (and in real hardware would
+        throttle duty cycles; the floor keeps the model conservative).
+        """
+        if cap_w is None:
+            cap_w = self.spec.tdp_w
+        require_positive("cap_w", cap_w)
+        if n_active <= 0:
+            raise ValueError(f"n_active must be >= 1, got {n_active}")
+        if n_active + n_spin > self.spec.cores_per_socket:
+            raise ValueError(
+                f"{n_active}+{n_spin} cores exceed "
+                f"{self.spec.cores_per_socket} per socket"
+            )
+        if smt_mult < 1.0:
+            raise ValueError(f"smt_mult must be >= 1, got {smt_mult}")
+        return self._solve_cached(
+            float(cap_w), int(n_active), int(n_spin), float(smt_mult)
+        )
+
+    def _solve(
+        self, cap_w: float, n_active: int, n_spin: int, smt_mult: float
+    ) -> float:
+        spec = self.spec
+
+        def draw(freq_ghz: float) -> float:
+            return self.power.package_power_w(
+                freq_ghz, n_active, n_spin, smt_mult=smt_mult
+            )
+
+        if draw(spec.turbo_freq_ghz) <= cap_w:
+            return spec.turbo_freq_ghz
+        if draw(spec.min_freq_ghz) >= cap_w:
+            return spec.min_freq_ghz
+        lo, hi = spec.min_freq_ghz, spec.turbo_freq_ghz
+        for _ in range(_BISECT_ITERS):
+            mid = 0.5 * (lo + hi)
+            if draw(mid) <= cap_w:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def uncore_scale(self, freq_ghz: float) -> float:
+        """Slowdown factor for uncore (L3/ring) latencies under a cap.
+
+        The paper notes a cap "not only affects the performance of the
+        cores but also impacts the cache performance".  The uncore
+        scales only partially with core frequency; we model L3 latency
+        growing with half of the core slowdown.
+        """
+        core_slowdown = self.spec.base_freq_ghz / freq_ghz
+        return 1.0 + 0.5 * max(0.0, core_slowdown - 1.0)

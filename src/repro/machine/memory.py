@@ -1,0 +1,54 @@
+"""DRAM bandwidth and queueing model.
+
+Two effects shape the frequency-invariant memory component:
+
+* **Queueing**: when a socket's aggregate DRAM traffic approaches the
+  sustainable bandwidth, stalls inflate by an M/M/1-style multiplier
+  ``1 / (1 - rho)`` (capped for stability);
+* **Stream contention**: many concurrent access streams destroy DRAM
+  row-buffer locality and add bank conflicts, lowering the *achievable*
+  bandwidth - a first-order reason the paper's memory-bound SP stops
+  scaling beyond a handful of threads and Table II picks 4-16 threads
+  on a 32-hw-thread machine.
+
+The sustainable bandwidth also droops mildly under deep frequency caps
+(the memory controller lives in the capped package).
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import MachineSpec
+from repro.util.validation import require_nonnegative
+
+#: utilization at which the queueing multiplier saturates.
+_RHO_MAX = 0.95
+
+
+class MemoryModel:
+    """Bandwidth-contention multiplier for memory stalls on one socket."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    def effective_bandwidth(self, streams: int, freq_ghz: float) -> float:
+        """Achievable bytes/s for ``streams`` concurrent access streams."""
+        require_nonnegative("streams", streams)
+        freq_droop = min(
+            1.0, 0.5 + 0.5 * freq_ghz / self.spec.base_freq_ghz
+        )
+        stream_droop = 1.0 / (
+            1.0
+            + self.spec.stream_penalty
+            * max(0, streams - self.spec.stream_sweet_spot)
+        )
+        return self.spec.mem_bw_bytes_per_s * freq_droop * stream_droop
+
+    def contention_multiplier(
+        self, dram_bytes_per_s: float, freq_ghz: float, streams: int = 1
+    ) -> float:
+        """Stall inflation factor for a socket generating
+        ``dram_bytes_per_s`` of DRAM traffic over ``streams`` threads."""
+        require_nonnegative("dram_bytes_per_s", dram_bytes_per_s)
+        capacity = self.effective_bandwidth(streams, freq_ghz)
+        rho = min(_RHO_MAX, dram_bytes_per_s / capacity)
+        return 1.0 / (1.0 - rho)

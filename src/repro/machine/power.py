@@ -1,0 +1,148 @@
+"""Package power model.
+
+Power is modelled per package (socket) as the paper's Section V
+describes the hardware: *"cores and caches are the main power
+consuming components of a processor; the total power of a processor is
+divided between these two"*.
+
+``P_pkg(f) = P_static + P_cache * (f / f_base) + n_active * kappa * f^3
+            + n_spin * spin_fraction * kappa * f^3
+            + n_sleep * P_sleep``
+
+* active cores burn dynamic power cubic in frequency (f ~ V, P ~ f V^2);
+* cores spinning at a barrier burn a large fraction of active power
+  (``idle_spin_fraction``) - the paper notes short waits do not reach
+  sleep states;
+* deep-sleep cores burn a small constant, but entering/leaving sleep
+  costs ``sleep_transition_us`` of wasted time and energy, which is why
+  *"entering and exiting sleep states ... can cause negative savings if
+  the idle duration is short"* (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machine.spec import MachineSpec
+from repro.util.units import us
+from repro.util.validation import require_nonnegative
+
+
+#: extra dynamic power an SMT sibling adds to an already-active core.
+SMT_POWER_FACTOR = 0.15
+
+
+class IdleState(Enum):
+    """What a core does while it waits at a barrier."""
+
+    SPIN = "spin"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class IdleAccounting:
+    """Energy and effective-wait bookkeeping for one idle interval."""
+
+    state: IdleState
+    energy_j: float
+    transition_s: float
+
+
+class PowerModel:
+    """Evaluates package power draw and idle-interval energy."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # instantaneous power
+    # ------------------------------------------------------------------
+    def core_dynamic_w(self, freq_ghz: float) -> float:
+        """Dynamic power of one fully-active core at ``freq_ghz``."""
+        return self.spec.core_dyn_coeff_w_per_ghz3 * freq_ghz ** 3
+
+    def uncore_w(self, freq_ghz: float) -> float:
+        """Static plus cache (uncore) power of one package."""
+        rel = freq_ghz / self.spec.base_freq_ghz
+        return self.spec.static_power_w + self.spec.cache_power_w * rel
+
+    def smt_power_multiplier(self, avg_siblings: float) -> float:
+        """Dynamic-power multiplier for cores running ``avg_siblings``
+        SMT threads each (1.0 for one thread per core)."""
+        if avg_siblings < 1.0:
+            raise ValueError(
+                f"avg_siblings must be >= 1, got {avg_siblings}"
+            )
+        return 1.0 + SMT_POWER_FACTOR * (avg_siblings - 1.0)
+
+    def package_power_w(
+        self,
+        freq_ghz: float,
+        n_active: int,
+        n_spin: int = 0,
+        n_sleep: int | None = None,
+        smt_mult: float = 1.0,
+    ) -> float:
+        """Total draw of one package.
+
+        ``n_sleep`` defaults to the remaining cores of the package;
+        ``smt_mult`` scales the active cores' dynamic power for SMT
+        co-residency (see :meth:`smt_power_multiplier`).
+        """
+        require_nonnegative("n_active", n_active)
+        require_nonnegative("n_spin", n_spin)
+        if n_sleep is None:
+            n_sleep = self.spec.cores_per_socket - n_active - n_spin
+        require_nonnegative("n_sleep", n_sleep)
+        if n_active + n_spin + n_sleep > self.spec.cores_per_socket:
+            raise ValueError(
+                "core states exceed cores per socket: "
+                f"{n_active}+{n_spin}+{n_sleep} > "
+                f"{self.spec.cores_per_socket}"
+            )
+        dyn = self.core_dynamic_w(freq_ghz)
+        return (
+            self.uncore_w(freq_ghz)
+            + n_active * dyn * smt_mult
+            + n_spin * self.spec.idle_spin_fraction * dyn
+            + n_sleep * self.spec.idle_core_sleep_w
+        )
+
+    # ------------------------------------------------------------------
+    # idle intervals (barrier waits)
+    # ------------------------------------------------------------------
+    #: Governor heuristic: a core only enters deep sleep when the
+    #: expected wait exceeds this many transition times; shorter waits
+    #: spin (the Section V "short OpenMP waits don't reach sleep" case).
+    SLEEP_BREAKEVEN_MULTIPLIER = 3.0
+
+    def sleep_worthwhile_s(self, freq_ghz: float) -> float:
+        """Wait duration above which the governor puts a core to sleep."""
+        dyn = self.core_dynamic_w(freq_ghz)
+        spin_w = self.spec.idle_spin_fraction * dyn
+        if spin_w <= self.spec.idle_core_sleep_w:
+            return float("inf")
+        return self.SLEEP_BREAKEVEN_MULTIPLIER * us(
+            self.spec.sleep_transition_us
+        )
+
+    def idle_interval(
+        self, wait_s: float, freq_ghz: float
+    ) -> IdleAccounting:
+        """Energy burnt by one core waiting ``wait_s`` at a barrier."""
+        require_nonnegative("wait_s", wait_s)
+        dyn = self.core_dynamic_w(freq_ghz)
+        spin_w = self.spec.idle_spin_fraction * dyn
+        transition = us(self.spec.sleep_transition_us)
+        if wait_s <= self.sleep_worthwhile_s(freq_ghz):
+            return IdleAccounting(
+                state=IdleState.SPIN,
+                energy_j=wait_s * spin_w,
+                transition_s=0.0,
+            )
+        sleep_time = max(0.0, wait_s - transition)
+        energy = transition * spin_w + sleep_time * self.spec.idle_core_sleep_w
+        return IdleAccounting(
+            state=IdleState.SLEEP, energy_j=energy, transition_s=transition
+        )

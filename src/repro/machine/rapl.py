@@ -1,0 +1,197 @@
+"""RAPL interface: package power capping and energy counters.
+
+Models the two "known issues of RAPL" that Section IV-D says the
+authors had to tackle:
+
+* **counter update frequency** - the energy-status MSRs only update
+  roughly every millisecond, so energy deposited between updates is
+  invisible until the next boundary; and
+* **warm-up after enforcing a cap** - a freshly-written power limit
+  takes a settle interval before the running average actually clamps
+  the package, during which the old limit still governs frequency.
+
+Two domains are modelled: **PACKAGE** (cap + counter, as used
+throughout the paper) and **DRAM** (counter only - the paper "used
+maximum power for other components (DRAM, Network card, etc.), because
+we did not have capping capability on these subsystems"; accounting
+DRAM energy is the paper's stated future work).
+
+Energy is deposited by the execution engine in simulated time; reads
+return whole RAPL energy units (2^-16 J) with 32-bit wraparound, like
+the real counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.machine.msr import (
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT,
+    MsrFile,
+)
+from repro.machine.spec import MachineSpec
+from repro.util.validation import require_nonnegative, require_positive
+
+_COUNTER_BITS = 32
+
+
+class RaplDomain(Enum):
+    """RAPL power domains."""
+
+    PACKAGE = "package"
+    DRAM = "dram"
+
+
+_DOMAIN_MSR = {
+    RaplDomain.PACKAGE: MSR_PKG_ENERGY_STATUS,
+    RaplDomain.DRAM: MSR_DRAM_ENERGY_STATUS,
+}
+
+
+@dataclass
+class _CapState:
+    cap_w: float | None = None
+    pending_cap_w: float | None = None
+    cap_applies_at_s: float = 0.0
+
+
+@dataclass
+class _EnergyAccount:
+    pending_j: float = 0.0
+    last_update_s: float = 0.0
+    wraps: int = 0
+
+
+@dataclass
+class Rapl:
+    """libmsr-style RAPL access for one simulated node."""
+
+    spec: MachineSpec
+    msr: MsrFile
+    update_interval_s: float = 1.0e-3
+    cap_settle_s: float = 10.0e-3
+    _caps: list[_CapState] = field(default_factory=list)
+    _energy: dict[tuple[RaplDomain, int], _EnergyAccount] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        require_positive("update_interval_s", self.update_interval_s)
+        require_nonnegative("cap_settle_s", self.cap_settle_s)
+        self._caps = [_CapState() for _ in range(self.spec.sockets)]
+        self._energy = {
+            (domain, socket): _EnergyAccount()
+            for domain in RaplDomain
+            for socket in range(self.spec.sockets)
+        }
+
+    # ------------------------------------------------------------------
+    # power capping (PACKAGE domain only, as on the paper's machines)
+    # ------------------------------------------------------------------
+    def set_package_cap(
+        self, cap_w: float | None, now_s: float, socket: int | None = None
+    ) -> None:
+        """Write a package power limit (``None`` clears to TDP-limited).
+
+        Raises :class:`PermissionError` on machines without capping
+        privilege (Minotaur), mirroring the paper's constraint.
+        """
+        if not self.spec.supports_power_cap:
+            raise PermissionError(
+                f"{self.spec.name} does not allow power capping"
+            )
+        if cap_w is not None:
+            require_positive("cap_w", cap_w)
+        targets = range(self.spec.sockets) if socket is None else [socket]
+        for s in targets:
+            state = self._caps[s]
+            state.pending_cap_w = cap_w
+            state.cap_applies_at_s = now_s + self.cap_settle_s
+            self._write_limit_register(s, cap_w)
+
+    def effective_cap_w(self, socket: int, now_s: float) -> float | None:
+        """The cap actually governing the package at ``now_s``
+        (pending writes apply only after the settle interval)."""
+        state = self._caps[socket]
+        if now_s >= state.cap_applies_at_s:
+            state.cap_w = state.pending_cap_w
+        return state.cap_w
+
+    def _write_limit_register(self, socket: int, cap_w: float | None) -> None:
+        if cap_w is None:
+            self.msr.write(socket, MSR_PKG_POWER_LIMIT, 0)
+            return
+        # power unit = 1/8 W; enable bit 15.
+        raw = (int(round(cap_w * 8)) & 0x7FFF) | (1 << 15)
+        self.msr.write(socket, MSR_PKG_POWER_LIMIT, raw)
+
+    # ------------------------------------------------------------------
+    # energy counters
+    # ------------------------------------------------------------------
+    def deposit_energy(
+        self,
+        socket: int,
+        joules: float,
+        now_s: float,
+        domain: RaplDomain = RaplDomain.PACKAGE,
+    ) -> None:
+        """Account energy consumed by a domain of ``socket`` up to
+        ``now_s``.  The MSR counter is only bumped when simulated time
+        crosses an update-interval boundary, modelling the counter's
+        refresh rate."""
+        require_nonnegative("joules", joules)
+        account = self._energy[(domain, socket)]
+        account.pending_j += joules
+        boundary = (
+            int(now_s / self.update_interval_s) * self.update_interval_s
+        )
+        if boundary > account.last_update_s:
+            self._flush(domain, socket)
+            account.last_update_s = boundary
+
+    def deposit_dram_energy(
+        self, socket: int, joules: float, now_s: float
+    ) -> None:
+        self.deposit_energy(socket, joules, now_s, RaplDomain.DRAM)
+
+    def _flush(self, domain: RaplDomain, socket: int) -> None:
+        account = self._energy[(domain, socket)]
+        units_per_j = self.msr.energy_units_per_joule(socket)
+        units = int(account.pending_j * units_per_j)
+        if units > 0:
+            account.pending_j -= units / units_per_j
+            address = _DOMAIN_MSR[domain]
+            before = self.msr.read(socket, address)
+            self.msr.bump_counter(socket, address, units)
+            account.wraps += (before + units) >> _COUNTER_BITS
+
+    def _read_energy_j(self, domain: RaplDomain, socket: int) -> float:
+        if not self.spec.supports_energy_counters:
+            raise PermissionError(
+                f"{self.spec.name} does not expose energy counters"
+            )
+        account = self._energy[(domain, socket)]
+        raw = self.msr.read(socket, _DOMAIN_MSR[domain])
+        units_per_j = self.msr.energy_units_per_joule(socket)
+        total_units = account.wraps * (1 << _COUNTER_BITS) + raw
+        return total_units / units_per_j
+
+    def read_package_energy_j(self, socket: int) -> float:
+        """Package-domain energy in joules, unwrapping the counter.
+        Raises :class:`PermissionError` on machines without counter
+        access (Minotaur)."""
+        return self._read_energy_j(RaplDomain.PACKAGE, socket)
+
+    def read_dram_energy_j(self, socket: int) -> float:
+        """DRAM-domain energy in joules."""
+        return self._read_energy_j(RaplDomain.DRAM, socket)
+
+    def force_update(self, now_s: float) -> None:
+        """Flush pending energy into the counters (used at run teardown,
+        mirroring a final synchronous read after a settle sleep)."""
+        for (domain, socket), account in self._energy.items():
+            account.last_update_s = now_s
+            self._flush(domain, socket)

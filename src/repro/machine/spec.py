@@ -1,0 +1,247 @@
+"""Hardware specifications for the simulated machines.
+
+Two concrete machines mirror the paper's testbeds (Section IV-A):
+
+* **Crill** (University of Houston): dual-socket, two 2.4 GHz 8-core
+  Intel Xeon E5-2665 (Sandy Bridge), 2-way HyperThreading -> 32
+  hardware threads, 115 W TDP per package, RAPL capping and energy
+  counters available.
+* **Minotaur** (University of Oregon): IBM S822LC, two 10-core POWER8
+  at 2.92 GHz, SMT-8 -> 160 hardware threads; no power-capping
+  privilege and no energy counters (evaluation is time-only there).
+
+All values are per the public spec sheets; the dynamic-power
+coefficient is calibrated so that a fully-loaded package at base
+frequency draws exactly TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import GIB, KIB, MIB
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Cache hierarchy geometry and latencies.
+
+    Latencies are *stall* costs in nanoseconds charged per access that
+    misses into the level (already discounted for out-of-order overlap
+    via the memory-level-parallelism factor ``mlp``).
+    """
+
+    line_bytes: int = 64
+    l1_bytes: int = 32 * KIB          # per core
+    l2_bytes: int = 256 * KIB         # per core
+    l3_bytes: int = 20 * MIB          # per socket (shared)
+    l2_latency_ns: float = 3.5        # extra stall on an L1 miss hit in L2
+    l3_latency_ns: float = 12.0       # extra stall on an L2 miss hit in L3
+    dram_latency_ns: float = 65.0     # extra stall on an L3 miss
+    mlp: float = 4.0                  # memory-level parallelism divisor
+
+    def __post_init__(self) -> None:
+        require_positive("line_bytes", self.line_bytes)
+        require_positive("l1_bytes", self.l1_bytes)
+        require_positive("l2_bytes", self.l2_bytes)
+        require_positive("l3_bytes", self.l3_bytes)
+        require_positive("mlp", self.mlp)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Description of a simulated node.
+
+    ``smt_throughput[s-1]`` is the total instruction throughput of one
+    core when ``s`` hardware threads are active on it, normalized to a
+    single thread (e.g. ``(1.0, 1.3)`` for Sandy Bridge HT: two
+    hyperthreads deliver 1.3x one thread, i.e. 0.65x each).
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt_per_core: int
+    base_freq_ghz: float
+    min_freq_ghz: float
+    turbo_freq_ghz: float
+    tdp_w: float                       # per package
+    static_power_w: float              # per package: uncore + leakage
+    cache_power_w: float               # per package at base uncore freq
+    idle_core_sleep_w: float           # deep-sleep core power
+    idle_spin_fraction: float          # spin power as fraction of active
+    sleep_transition_us: float         # enter+exit latency for deep sleep
+    smt_throughput: tuple[float, ...]
+    mem_bw_bytes_per_s: float          # per socket
+    cache: CacheSpec = field(default_factory=CacheSpec)
+    supports_power_cap: bool = True
+    supports_energy_counters: bool = True
+    #: fractional DRAM bandwidth loss per concurrent stream beyond the
+    #: sweet spot (row-buffer / bank conflicts).
+    stream_penalty: float = 0.07
+    #: streams the memory controller handles at full efficiency.
+    stream_sweet_spot: int = 6
+    #: L1/L2 conflict-miss inflation per SMT sibling (and its cap) -
+    #: POWER8's 8-way SMT is engineered for co-residency, Sandy Bridge
+    #: HT much less so.
+    smt_conflict_l1: float = 0.35
+    smt_conflict_l1_cap: float = 1.6
+    smt_conflict_l2: float = 0.25
+    smt_conflict_l2_cap: float = 1.5
+    #: per-thread execution jitter (OS noise, SMT partner interference)
+    #: as a relative sigma; grows with SMT occupancy.  Static schedules
+    #: eat it as barrier wait; dynamic/guided absorb it.
+    thread_jitter_sigma: float = 0.008
+    #: DRAM power model (the paper's future-work memory-power
+    #: accounting): idle/refresh draw per socket plus energy per byte
+    #: of DRAM traffic (~60 pJ/bit for DDR3 including IO).
+    dram_static_w: float = 6.0
+    dram_energy_j_per_byte: float = 60.0e-12 * 8
+
+    def __post_init__(self) -> None:
+        require_positive("sockets", self.sockets)
+        require_positive("cores_per_socket", self.cores_per_socket)
+        require_positive("smt_per_core", self.smt_per_core)
+        require_positive("base_freq_ghz", self.base_freq_ghz)
+        require_positive("tdp_w", self.tdp_w)
+        if not (0 < self.min_freq_ghz <= self.base_freq_ghz
+                <= self.turbo_freq_ghz):
+            raise ValueError(
+                "frequencies must satisfy 0 < min <= base <= turbo, got "
+                f"{self.min_freq_ghz}/{self.base_freq_ghz}/"
+                f"{self.turbo_freq_ghz}"
+            )
+        if len(self.smt_throughput) != self.smt_per_core:
+            raise ValueError(
+                f"smt_throughput must have {self.smt_per_core} entries, "
+                f"got {len(self.smt_throughput)}"
+            )
+        if self.smt_throughput[0] != 1.0:
+            raise ValueError("smt_throughput[0] must be 1.0")
+        if any(b < a for a, b in zip(self.smt_throughput,
+                                     self.smt_throughput[1:])):
+            raise ValueError("smt_throughput must be non-decreasing")
+        if self.static_power_w + self.cache_power_w >= self.tdp_w:
+            raise ValueError("static + cache power must be below TDP")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_hw_threads(self) -> int:
+        return self.total_cores * self.smt_per_core
+
+    @property
+    def core_dyn_coeff_w_per_ghz3(self) -> float:
+        """Per-core dynamic power coefficient kappa (W/GHz^3).
+
+        Calibrated so all cores at base frequency plus static and cache
+        power equal TDP per package:
+        ``TDP = static + cache + cores * kappa * f_base^3``.
+        """
+        headroom = self.tdp_w - self.static_power_w - self.cache_power_w
+        return headroom / (self.cores_per_socket * self.base_freq_ghz ** 3)
+
+    def smt_per_thread_throughput(self, siblings_active: int) -> float:
+        """Per-thread throughput when ``siblings_active`` threads share
+        a core (1 -> 1.0; 2 on HT -> ~0.65; ...)."""
+        if not 1 <= siblings_active <= self.smt_per_core:
+            raise ValueError(
+                f"siblings_active must be in [1, {self.smt_per_core}], "
+                f"got {siblings_active}"
+            )
+        return self.smt_throughput[siblings_active - 1] / siblings_active
+
+
+def crill() -> MachineSpec:
+    """The paper's primary testbed: dual-socket Sandy Bridge Xeon E5-2665."""
+    return MachineSpec(
+        name="crill",
+        sockets=2,
+        cores_per_socket=8,
+        smt_per_core=2,
+        base_freq_ghz=2.4,
+        min_freq_ghz=1.2,
+        turbo_freq_ghz=3.1,
+        tdp_w=115.0,
+        static_power_w=22.0,
+        cache_power_w=14.0,
+        idle_core_sleep_w=0.6,
+        idle_spin_fraction=0.72,
+        sleep_transition_us=60.0,
+        smt_throughput=(1.0, 1.3),
+        mem_bw_bytes_per_s=48.0 * GIB,
+        cache=CacheSpec(
+            line_bytes=64,
+            l1_bytes=32 * KIB,
+            l2_bytes=256 * KIB,
+            l3_bytes=20 * MIB,
+            l2_latency_ns=3.5,
+            l3_latency_ns=12.0,
+            dram_latency_ns=65.0,
+            mlp=4.0,
+        ),
+        supports_power_cap=True,
+        supports_energy_counters=True,
+    )
+
+
+def minotaur() -> MachineSpec:
+    """The paper's secondary testbed: IBM S822LC with two POWER8 CPUs.
+
+    The paper had neither capping privilege nor energy-counter access
+    on this machine, so ``supports_power_cap`` and
+    ``supports_energy_counters`` are both False and all Minotaur
+    experiments run at TDP and report time only.
+    """
+    return MachineSpec(
+        name="minotaur",
+        sockets=2,
+        cores_per_socket=10,
+        smt_per_core=8,
+        base_freq_ghz=2.92,
+        min_freq_ghz=2.0,
+        turbo_freq_ghz=3.5,
+        tdp_w=190.0,
+        static_power_w=38.0,
+        cache_power_w=24.0,
+        idle_core_sleep_w=1.0,
+        idle_spin_fraction=0.70,
+        sleep_transition_us=40.0,
+        smt_throughput=(1.0, 1.5, 1.9, 2.15, 2.3, 2.4, 2.48, 2.55),
+        mem_bw_bytes_per_s=96.0 * GIB,
+        cache=CacheSpec(
+            line_bytes=128,
+            l1_bytes=64 * KIB,
+            l2_bytes=512 * KIB,
+            l3_bytes=80 * MIB,
+            l2_latency_ns=4.0,
+            l3_latency_ns=10.0,
+            dram_latency_ns=80.0,
+            mlp=5.0,
+        ),
+        supports_power_cap=False,
+        supports_energy_counters=False,
+        stream_penalty=0.025,
+        stream_sweet_spot=12,
+        smt_conflict_l1=0.08,
+        smt_conflict_l1_cap=1.3,
+        smt_conflict_l2=0.06,
+        smt_conflict_l2_cap=1.25,
+        thread_jitter_sigma=0.045,
+    )
+
+
+_REGISTRY = {"crill": crill, "minotaur": minotaur}
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a machine spec by its lowercase name."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,32 @@
+"""Simulated OpenMP runtime with OMPT support.
+
+Implements the pieces of the OpenMP 4.0 execution model that ARCS
+tunes: team sizing (``omp_set_num_threads``), loop scheduling
+(``omp_set_schedule`` with static/dynamic/guided and chunk sizes, using
+the exact specification semantics), fork/join and barrier behaviour,
+plus the OMPT events/callbacks interface (parallel begin/end, implicit
+task, worksharing loop, barrier sync region) that APEX hooks into.
+
+Region *times* come from the simulated machine substrate
+(:mod:`repro.machine`); scheduling *semantics* are real.
+"""
+
+from repro.openmp.ompt import OmptEvent, OmptInterface
+from repro.openmp.records import RegionExecutionRecord
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.schedule import Chunk, chunks_for
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+__all__ = [
+    "Chunk",
+    "ImbalanceSpec",
+    "OMPConfig",
+    "OmptEvent",
+    "OmptInterface",
+    "OpenMPRuntime",
+    "RegionExecutionRecord",
+    "RegionProfile",
+    "ScheduleKind",
+    "chunks_for",
+]

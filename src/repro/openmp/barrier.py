@@ -1,0 +1,52 @@
+"""Fork/join, barrier and dispatch cost constants.
+
+These model the OpenMP runtime's own overheads (Bull's EWOMP'99
+measurements [20] motivate their shape): forking a team and the
+end-of-region barrier cost grow logarithmically with the team size
+(tree barriers); every dynamic/guided chunk dequeue pays a small
+constant for the shared-counter atomic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import us
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class TeamCosts:
+    """Runtime-overhead constants (seconds via the helpers)."""
+
+    fork_base_us: float = 1.2
+    fork_per_log2_thread_us: float = 0.6
+    barrier_base_us: float = 0.6
+    barrier_per_log2_thread_us: float = 0.45
+    dispatch_us: float = 0.35          # per dynamic/guided chunk dequeue
+
+    def fork_join_s(self, n_threads: int) -> float:
+        """Team fork + implicit join cost for an ``n_threads`` team."""
+        require_positive("n_threads", n_threads)
+        if n_threads == 1:
+            return us(self.fork_base_us) * 0.25
+        return us(
+            self.fork_base_us
+            + self.fork_per_log2_thread_us * math.log2(n_threads)
+        )
+
+    def barrier_s(self, n_threads: int) -> float:
+        """Base cost of the end-of-loop barrier itself (excluding load
+        -imbalance waiting, which the engine computes)."""
+        require_positive("n_threads", n_threads)
+        if n_threads == 1:
+            return 0.0
+        return us(
+            self.barrier_base_us
+            + self.barrier_per_log2_thread_us * math.log2(n_threads)
+        )
+
+    def dispatch_s(self) -> float:
+        """Cost of one dynamic/guided chunk dequeue."""
+        return us(self.dispatch_us)

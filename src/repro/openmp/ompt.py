@@ -1,0 +1,101 @@
+"""OMPT-style tools interface.
+
+Mirrors the OMPT Technical Report surface ARCS relies on (Section
+III-A): a tool registers callbacks; the runtime dispatches events with
+parallel-region identifiers, team sizes and timing payloads.  APEX
+starts a timer on ``PARALLEL_BEGIN`` and stops it on ``PARALLEL_END``;
+the TAU-style profiling of Figure 9 additionally consumes the
+``IMPLICIT_TASK`` / ``WORK_LOOP`` / ``SYNC_REGION_BARRIER`` aggregate
+events.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.openmp.records import RegionExecutionRecord
+
+
+class OmptEvent(Enum):
+    """Event kinds dispatched by the simulated runtime."""
+
+    PARALLEL_BEGIN = "ompt_event_parallel_begin"
+    PARALLEL_END = "ompt_event_parallel_end"
+    IMPLICIT_TASK = "ompt_event_implicit_task"
+    WORK_LOOP = "ompt_event_work_loop"
+    SYNC_REGION_BARRIER = "ompt_event_sync_region_barrier"
+
+
+@dataclass(frozen=True)
+class ParallelBeginPayload:
+    """Fired on entry to a parallel region, before execution."""
+
+    region_name: str
+    parallel_id: int
+    requested_team_size: int
+    timestamp_s: float
+
+
+@dataclass(frozen=True)
+class ParallelEndPayload:
+    """Fired on region exit with the full execution record."""
+
+    region_name: str
+    parallel_id: int
+    timestamp_s: float
+    record: RegionExecutionRecord
+
+
+@dataclass(frozen=True)
+class DurationPayload:
+    """Aggregate duration events (implicit task / loop / barrier)."""
+
+    region_name: str
+    parallel_id: int
+    duration_s: float
+
+
+Callback = Callable[[object], None]
+
+
+@dataclass
+class OmptInterface:
+    """Callback registry with monotonically increasing parallel ids."""
+
+    _callbacks: dict[OmptEvent, list[Callback]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    _next_parallel_id: int = 1
+
+    def register(self, event: OmptEvent, callback: Callback) -> None:
+        """Register ``callback`` for ``event`` (multiple tools may
+        coexist, as OMPT allows)."""
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callbacks[event].append(callback)
+
+    def unregister(self, event: OmptEvent, callback: Callback) -> None:
+        try:
+            self._callbacks[event].remove(callback)
+        except ValueError:
+            raise ValueError(
+                f"callback not registered for {event}"
+            ) from None
+
+    def has_tool(self) -> bool:
+        """True if any callback is registered - the runtime skips event
+        construction entirely otherwise (OMPT's 'minimal overhead when
+        not in use' design objective)."""
+        return any(self._callbacks.values())
+
+    def new_parallel_id(self) -> int:
+        pid = self._next_parallel_id
+        self._next_parallel_id += 1
+        return pid
+
+    def dispatch(self, event: OmptEvent, payload: object) -> None:
+        for callback in self._callbacks.get(event, ()):
+            callback(payload)

@@ -1,0 +1,117 @@
+"""Parallel-region descriptors.
+
+A :class:`RegionProfile` characterizes one OpenMP parallel(-for) region
+the way the paper characterizes its benchmark kernels: per-iteration
+compute cost, memory behaviour (stride / footprint / reuse), load
+(im)balance across iterations, and any serial prologue.  The paper's
+analysis (Section V) explains every result through exactly these
+features - scalability, load balancing and cache behaviour - so they
+are the simulator's inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.cache import MemoryProfile
+from repro.util.rng import rng_for
+from repro.util.validation import require_nonnegative, require_positive
+
+_IMBALANCE_KINDS = ("none", "linear", "sawtooth", "step", "random")
+
+
+@dataclass(frozen=True)
+class ImbalanceSpec:
+    """Deterministic per-iteration cost variation.
+
+    ``amplitude`` is the relative cost swing (0 = perfectly balanced).
+    Kinds:
+
+    * ``linear``: cost ramps across the iteration space (typical of
+      triangular loop nests) - hurts default static block scheduling;
+    * ``sawtooth``: periodic ramps with ``period`` iterations;
+    * ``step``: a ``heavy_fraction`` of iterations costs more (e.g.
+      boundary elements, EOS iteration counts);
+    * ``random``: lognormal variation with sigma=``amplitude``, seeded
+      deterministically from the region name.
+    """
+
+    kind: str = "none"
+    amplitude: float = 0.0
+    period: int = 16
+    heavy_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in _IMBALANCE_KINDS:
+            raise ValueError(
+                f"kind must be one of {_IMBALANCE_KINDS}, got {self.kind!r}"
+            )
+        require_nonnegative("amplitude", self.amplitude)
+        require_positive("period", self.period)
+        if self.kind == "step" and not 0.0 < self.heavy_fraction <= 1.0:
+            raise ValueError(
+                "heavy_fraction must be in (0, 1] for step imbalance"
+            )
+
+    def weights(self, n_iterations: int, seed_key: str) -> np.ndarray:
+        """Mean-1 positive weight per iteration."""
+        require_positive("n_iterations", n_iterations)
+        n = n_iterations
+        if self.kind == "none" or self.amplitude == 0.0:
+            return np.ones(n)
+        x = np.arange(n, dtype=float)
+        if self.kind == "linear":
+            ramp = (2.0 * x / max(1, n - 1)) - 1.0 if n > 1 else np.zeros(1)
+            w = 1.0 + self.amplitude * ramp
+        elif self.kind == "sawtooth":
+            phase = (x % self.period) / self.period
+            w = 1.0 + self.amplitude * (2.0 * phase - 1.0)
+        elif self.kind == "step":
+            heavy = int(round(self.heavy_fraction * n))
+            w = np.ones(n)
+            if 0 < heavy < n:
+                w[:heavy] += self.amplitude
+        else:  # random
+            rng = rng_for(0xA2C5, "imbalance", seed_key, n)
+            w = rng.lognormal(mean=0.0, sigma=self.amplitude, size=n)
+        w = np.clip(w, 0.05, None)
+        return w / w.mean()
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Static characterization of one OpenMP parallel region.
+
+    ``cpu_ns_per_iter`` is the pure-compute cost of an average
+    iteration on one thread at base frequency with no cache misses;
+    the memory-stall component is derived from ``memory`` by the cache
+    model and is frequency-invariant.  ``iterations`` is the trip count
+    of the parallelized (outermost) loop for the workload size this
+    profile describes.
+    """
+
+    name: str
+    iterations: int
+    cpu_ns_per_iter: float
+    memory: MemoryProfile
+    imbalance: ImbalanceSpec = field(default_factory=ImbalanceSpec)
+    serial_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("iterations", self.iterations)
+        require_positive("cpu_ns_per_iter", self.cpu_ns_per_iter)
+        require_nonnegative("serial_ns", self.serial_ns)
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+
+    def iteration_weights(self) -> np.ndarray:
+        """Per-iteration mean-1 cost weights (deterministic)."""
+        return self.imbalance.weights(self.iterations, self.name)
+
+    def ideal_serial_seconds(self) -> float:
+        """Single-thread, miss-free compute time - a scale reference."""
+        return (
+            self.serial_ns + self.iterations * self.cpu_ns_per_iter
+        ) * 1e-9

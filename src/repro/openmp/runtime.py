@@ -1,0 +1,244 @@
+"""The OpenMP runtime facade.
+
+Provides the runtime-library routines ARCS drives
+(``omp_set_num_threads``, ``omp_set_schedule`` — Section III-C notes
+these calls are exactly where the *configuration changing overhead*
+comes from), executes parallel-for regions through the simulation
+engine, dispatches OMPT events around each region, and applies
+seeded run-to-run measurement noise (the paper ran everything three
+times for this reason).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machine.node import SimulatedNode
+from repro.openmp.barrier import TeamCosts
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.ompt import (
+    DurationPayload,
+    OmptEvent,
+    OmptInterface,
+    ParallelBeginPayload,
+    ParallelEndPayload,
+)
+from repro.openmp.records import RegionExecutionRecord
+from repro.openmp.region import RegionProfile
+from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.util.rng import rng_for
+from repro.util.validation import require_nonnegative
+
+#: cost of one omp_set_num_threads / omp_set_schedule call.  Two calls
+#: per configuration change give the paper's ~0.8 ms per region call
+#: (Section III-C: "In Crill, we calculated this overhead to be about
+#: 0.8 msec in each region call").
+CONFIG_CALL_OVERHEAD_S = 0.4e-3
+
+#: cost of one userspace DVFS write (sysfs scaling_max_freq) - the
+#: future-work DVFS dimension pays this per frequency change.
+DVFS_WRITE_OVERHEAD_S = 60.0e-6
+
+
+class OpenMPRuntime:
+    """A simulated OpenMP runtime bound to one :class:`SimulatedNode`."""
+
+    def __init__(
+        self,
+        node: SimulatedNode,
+        seed: int = 0,
+        noise_sigma: float = 0.01,
+        costs: TeamCosts | None = None,
+    ) -> None:
+        require_nonnegative("noise_sigma", noise_sigma)
+        self.node = node
+        self.engine = ExecutionEngine(node, costs)
+        self.ompt = OmptInterface()
+        self.seed = seed
+        self.noise_sigma = noise_sigma
+        self._num_threads = node.spec.total_hw_threads
+        self._schedule: tuple[ScheduleKind, int | None] = (
+            ScheduleKind.STATIC,
+            None,
+        )
+        self._call_index = 0
+        self.config_change_time_s = 0.0
+        self.config_change_calls = 0
+
+    # ------------------------------------------------------------------
+    # the omp_* runtime-library surface
+    # ------------------------------------------------------------------
+    def omp_get_max_threads(self) -> int:
+        return self.node.spec.total_hw_threads
+
+    def omp_get_num_threads(self) -> int:
+        return self._num_threads
+
+    def omp_set_num_threads(self, n_threads: int) -> None:
+        """Set the team size for subsequent regions.  Costs real time -
+        this is half of ARCS's configuration-changing overhead."""
+        if not 1 <= n_threads <= self.omp_get_max_threads():
+            raise ValueError(
+                f"n_threads must be in [1, {self.omp_get_max_threads()}], "
+                f"got {n_threads}"
+            )
+        self._charge_config_call()
+        self._num_threads = n_threads
+
+    def omp_get_schedule(self) -> tuple[ScheduleKind, int | None]:
+        return self._schedule
+
+    def omp_set_schedule(
+        self, kind: ScheduleKind, chunk: int | None = None
+    ) -> None:
+        """Set the schedule for subsequent ``schedule(runtime)`` loops."""
+        if not isinstance(kind, ScheduleKind):
+            raise TypeError(f"kind must be ScheduleKind, got {kind!r}")
+        if chunk is not None and chunk < 1:
+            raise ValueError(f"chunk must be >= 1 or None, got {chunk}")
+        self._charge_config_call()
+        self._schedule = (kind, chunk)
+
+    def set_frequency_limit(self, freq_ghz: float | None) -> None:
+        """Apply a userspace DVFS ceiling for subsequent regions (the
+        future-work tuning dimension).  Costs a sysfs-write overhead,
+        accounted with the configuration-changing overheads."""
+        self.node.advance(DVFS_WRITE_OVERHEAD_S)
+        self.config_change_time_s += DVFS_WRITE_OVERHEAD_S
+        self.config_change_calls += 1
+        self.node.set_frequency_limit(freq_ghz)
+
+    def frequency_limit(self) -> float | None:
+        return self.node.frequency_limit_ghz
+
+    def _charge_config_call(self) -> None:
+        self.node.advance(CONFIG_CALL_OVERHEAD_S)
+        self.config_change_time_s += CONFIG_CALL_OVERHEAD_S
+        self.config_change_calls += 1
+        # the calling core burns active power during the runtime call
+        socket0_f = self.node.frequency_for_team(
+            self.node.topology.place(1)
+        )[0]
+        self.node.deposit_energy(
+            0,
+            (
+                self.node.power.core_dynamic_w(socket0_f)
+                + self.node.power.uncore_w(socket0_f)
+            )
+            * CONFIG_CALL_OVERHEAD_S,
+        )
+
+    def current_config(self) -> OMPConfig:
+        kind, chunk = self._schedule
+        return OMPConfig(
+            n_threads=self._num_threads, schedule=kind, chunk=chunk
+        )
+
+    # ------------------------------------------------------------------
+    # region execution
+    # ------------------------------------------------------------------
+    def parallel_for(self, region: RegionProfile) -> RegionExecutionRecord:
+        """Execute one ``#pragma omp parallel for schedule(runtime)``
+        region under the runtime's current configuration.
+
+        OMPT ``PARALLEL_BEGIN`` fires *before* the team is formed, so a
+        tool (the ARCS policy) may adjust the configuration inside the
+        callback and affect this very execution - exactly how ARCS
+        applies per-region settings.
+        """
+        ompt_active = self.ompt.has_tool()
+        parallel_id = 0
+        if ompt_active:
+            parallel_id = self.ompt.new_parallel_id()
+            self.ompt.dispatch(
+                OmptEvent.PARALLEL_BEGIN,
+                ParallelBeginPayload(
+                    region_name=region.name,
+                    parallel_id=parallel_id,
+                    requested_team_size=self._num_threads,
+                    timestamp_s=self.node.now_s,
+                ),
+            )
+        record = self.engine.execute(region, self.current_config())
+        record = self._apply_noise(record)
+        if ompt_active:
+            self._dispatch_aggregates(region.name, parallel_id, record)
+            self.ompt.dispatch(
+                OmptEvent.PARALLEL_END,
+                ParallelEndPayload(
+                    region_name=region.name,
+                    parallel_id=parallel_id,
+                    timestamp_s=self.node.now_s,
+                    record=record,
+                ),
+            )
+        return record
+
+    def _apply_noise(
+        self, record: RegionExecutionRecord
+    ) -> RegionExecutionRecord:
+        """Seeded multiplicative run-to-run noise on time and energy.
+
+        The engine already advanced the clock by the deterministic
+        time; here we advance by the noise delta (noise factors are
+        floored so time never goes backwards).
+        """
+        self._call_index += 1
+        if self.noise_sigma == 0.0:
+            return record
+        rng = rng_for(self.seed, "noise", self._call_index)
+        factor = float(
+            max(1.0 + rng.normal(0.0, self.noise_sigma), 1.0)
+        )
+        if factor == 1.0:
+            return record
+        delta_t = record.time_s * (factor - 1.0)
+        self.node.advance(delta_t)
+        sockets = self.node.spec.sockets
+        per_socket = record.energy_j * (factor - 1.0) / sockets
+        dram_per_socket = record.dram_energy_j * (factor - 1.0) / sockets
+        for socket in range(sockets):
+            self.node.deposit_energy(socket, per_socket)
+            self.node.deposit_dram_energy(socket, dram_per_socket)
+        return dataclasses.replace(
+            record,
+            time_s=record.time_s * factor,
+            loop_time_s=record.loop_time_s * factor,
+            barrier_wait_total_s=record.barrier_wait_total_s * factor,
+            barrier_wait_max_s=record.barrier_wait_max_s * factor,
+            thread_busy_s=tuple(
+                t * factor for t in record.thread_busy_s
+            ),
+            energy_j=record.energy_j * factor,
+            dram_energy_j=record.dram_energy_j * factor,
+        )
+
+    def _dispatch_aggregates(
+        self, name: str, parallel_id: int, record: RegionExecutionRecord
+    ) -> None:
+        n = record.config.n_threads
+        mean_busy = sum(record.thread_busy_s) / n
+        self.ompt.dispatch(
+            OmptEvent.IMPLICIT_TASK,
+            DurationPayload(
+                region_name=name,
+                parallel_id=parallel_id,
+                duration_s=record.time_s,
+            ),
+        )
+        self.ompt.dispatch(
+            OmptEvent.WORK_LOOP,
+            DurationPayload(
+                region_name=name,
+                parallel_id=parallel_id,
+                duration_s=mean_busy,
+            ),
+        )
+        self.ompt.dispatch(
+            OmptEvent.SYNC_REGION_BARRIER,
+            DurationPayload(
+                region_name=name,
+                parallel_id=parallel_id,
+                duration_s=record.barrier_wait_total_s / n,
+            ),
+        )

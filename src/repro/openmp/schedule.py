@@ -1,0 +1,141 @@
+"""OpenMP worksharing-loop chunking semantics.
+
+These are the real OpenMP 4.0 rules, not approximations:
+
+* ``static`` with chunk ``k``: iterations are divided into chunks of
+  size ``k`` assigned round-robin to threads in thread-id order.
+* ``static`` with no chunk (the default-config case): iterations are
+  divided into at most ``n_threads`` contiguous blocks of near-equal
+  size (the "iterations / threads" division the paper describes).
+* ``dynamic`` with chunk ``k`` (default 1): chunks of ``k`` handed out
+  in order, each to the next thread that requests work.
+* ``guided`` with chunk ``k`` (default 1): chunk sizes proportional to
+  the remaining iterations divided by the team size, decreasing, never
+  smaller than ``k`` (except the final chunk).
+
+The functions here only *partition*; the execution engine decides
+which thread runs which chunk (statically for ``static``, by greedy
+earliest-available-thread simulation for ``dynamic``/``guided``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous block of loop iterations ``[start, start+size)``."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {self.size}")
+        if self.start < 0:
+            raise ValueError(f"chunk start must be >= 0, got {self.start}")
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.size
+
+
+def static_default_chunks(n_iterations: int, n_threads: int) -> list[Chunk]:
+    """Spec-default static: <= ``n_threads`` near-equal contiguous blocks.
+
+    Uses the conventional "big blocks first" split: the first
+    ``n_iterations % n_threads`` threads get one extra iteration.
+    """
+    _check(n_iterations, n_threads)
+    chunks: list[Chunk] = []
+    base, extra = divmod(n_iterations, n_threads)
+    start = 0
+    for tid in range(n_threads):
+        size = base + (1 if tid < extra else 0)
+        if size == 0:
+            break
+        chunks.append(Chunk(start=start, size=size))
+        start += size
+    return chunks
+
+
+def fixed_chunks(n_iterations: int, chunk: int) -> list[Chunk]:
+    """Split into consecutive chunks of ``chunk`` iterations (static
+    with a chunk argument, and dynamic)."""
+    _check(n_iterations, 1)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    chunks = []
+    for start in range(0, n_iterations, chunk):
+        chunks.append(
+            Chunk(start=start, size=min(chunk, n_iterations - start))
+        )
+    return chunks
+
+
+def guided_chunks(
+    n_iterations: int, n_threads: int, min_chunk: int
+) -> list[Chunk]:
+    """Guided self-scheduling: each successive chunk is
+    ``ceil(remaining / n_threads)``, floored at ``min_chunk``."""
+    _check(n_iterations, n_threads)
+    if min_chunk < 1:
+        raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
+    chunks = []
+    remaining = n_iterations
+    start = 0
+    while remaining > 0:
+        size = max(min_chunk, -(-remaining // n_threads))
+        size = min(size, remaining)
+        chunks.append(Chunk(start=start, size=size))
+        start += size
+        remaining -= size
+    return chunks
+
+
+def chunks_for(config: OMPConfig, n_iterations: int) -> list[Chunk]:
+    """Chunk list, in dispatch order, for a loop of ``n_iterations``
+    executed under ``config``."""
+    if config.schedule is ScheduleKind.STATIC:
+        if config.chunk is None:
+            return static_default_chunks(n_iterations, config.n_threads)
+        return fixed_chunks(n_iterations, config.chunk)
+    if config.schedule is ScheduleKind.DYNAMIC:
+        return fixed_chunks(n_iterations, config.chunk or 1)
+    if config.schedule is ScheduleKind.GUIDED:
+        return guided_chunks(
+            n_iterations, config.n_threads, config.chunk or 1
+        )
+    raise ValueError(f"unknown schedule {config.schedule!r}")
+
+
+def static_assignment(
+    config: OMPConfig, chunks: list[Chunk]
+) -> list[int]:
+    """Owner thread of each chunk under static scheduling (round-robin
+    for chunked static, block for default static)."""
+    if config.schedule is not ScheduleKind.STATIC:
+        raise ValueError("static_assignment requires a static schedule")
+    if config.chunk is None:
+        # default static: chunk i belongs to thread i (block partition)
+        return list(range(len(chunks)))
+    return [i % config.n_threads for i in range(len(chunks))]
+
+
+def average_chunk_iters(config: OMPConfig, n_iterations: int) -> float:
+    """Mean scheduling quantum in iterations - the cache model's
+    locality input."""
+    chunks = chunks_for(config, n_iterations)
+    return n_iterations / max(1, len(chunks))
+
+
+def _check(n_iterations: int, n_threads: int) -> None:
+    if n_iterations < 1:
+        raise ValueError(
+            f"n_iterations must be >= 1, got {n_iterations}"
+        )
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")

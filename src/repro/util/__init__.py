@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG, unit helpers, validation, stats.
+
+These helpers are deliberately dependency-light; every other subpackage
+builds on them.
+"""
+
+from repro.util.rng import derive_seed, rng_for
+from repro.util.stats import geomean, normalize, summarize_runs
+from repro.util.units import GHZ, KIB, MIB, ms, us
+from repro.util.validation import (
+    require_in,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = [
+    "GHZ",
+    "KIB",
+    "MIB",
+    "derive_seed",
+    "geomean",
+    "ms",
+    "normalize",
+    "require_in",
+    "require_nonnegative",
+    "require_positive",
+    "rng_for",
+    "summarize_runs",
+    "us",
+]

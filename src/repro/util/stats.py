@@ -1,0 +1,53 @@
+"""Statistics helpers mirroring the paper's reporting methodology.
+
+Section IV-D: each experiment was run three times; Crill results report
+the *average* (dedicated machine), Minotaur results report the
+*minimum* (shared machine, to rule out interference).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def summarize_runs(values: Sequence[float], mode: str = "mean") -> float:
+    """Collapse repeated-run measurements per the paper's methodology.
+
+    ``mode`` is ``"mean"`` (Crill) or ``"min"`` (Minotaur).
+    """
+    if len(values) == 0:
+        raise ValueError("summarize_runs needs at least one value")
+    arr = np.asarray(values, dtype=float)
+    if mode == "mean":
+        return float(arr.mean())
+    if mode == "min":
+        return float(arr.min())
+    raise ValueError(f"unknown summary mode {mode!r}")
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Normalize ``values`` by ``baseline`` (the paper's figures plot
+    values normalized to the default configuration)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline!r}")
+    return [float(v) / baseline for v in values]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, used when aggregating improvement ratios."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def improvement_pct(baseline: float, value: float) -> float:
+    """Percent improvement of ``value`` over ``baseline`` (positive is
+    better, i.e. smaller time/energy)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline!r}")
+    return 100.0 * (baseline - value) / baseline

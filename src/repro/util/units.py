@@ -1,0 +1,39 @@
+"""Unit constants and converters used across the machine models.
+
+Internally the simulator works in SI base units: seconds, watts,
+joules, bytes, hertz.  These helpers keep call sites legible.
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+
+GHZ: float = 1.0e9
+MHZ: float = 1.0e6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1.0e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1.0e-6
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1.0e-9
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * GHZ
+
+
+def gib_per_s(value: float) -> float:
+    """GiB/s to bytes/s."""
+    return value * GIB

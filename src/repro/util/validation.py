@@ -1,0 +1,29 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from collections.abc import Container
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in(name: str, value: T, allowed: Container[T]) -> T:
+    """Raise :class:`ValueError` unless ``value`` is a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

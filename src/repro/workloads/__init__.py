@@ -1,0 +1,50 @@
+"""Benchmark applications (paper Section IV-C).
+
+The paper evaluates ARCS on NPB **BT** and **SP** (NPB 3.3-OMP-C,
+classes B and C with custom time steps) and **LULESH 2.0** (mesh sizes
+45 and 60).  Each application is modelled as an ordered per-timestep
+sequence of parallel-region invocations whose profiles encode the
+paper's characterization:
+
+* **SP** - well load-balanced, *poor* cache behaviour; ~75 % of time
+  in ``compute_rhs`` / ``x_solve`` / ``y_solve`` / ``z_solve``;
+* **BT** - well balanced *and* cache friendly except ``compute_rhs``
+  (long-stride ``rhsz`` stencil);
+* **LULESH** - well-balanced large element loops plus many tiny
+  regions (``EvalEOSForElems``, ``CalcPressureForElems``) whose
+  per-call time is comparable to the ARCS configuration-change
+  overhead.
+"""
+
+from repro.workloads.base import (
+    Application,
+    AppRunResult,
+    RegionCall,
+    run_application,
+)
+from repro.workloads.bt import bt_application, bt_motivation_region
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.registry import application_by_name
+from repro.workloads.sp import sp_application
+from repro.workloads.synthetic import (
+    cache_hostile_region,
+    imbalanced_region,
+    synthetic_application,
+    tiny_region,
+)
+
+__all__ = [
+    "AppRunResult",
+    "Application",
+    "RegionCall",
+    "application_by_name",
+    "bt_application",
+    "bt_motivation_region",
+    "cache_hostile_region",
+    "imbalanced_region",
+    "lulesh_application",
+    "run_application",
+    "sp_application",
+    "synthetic_application",
+    "tiny_region",
+]

@@ -1,0 +1,162 @@
+"""Application abstraction: ordered parallel-region call sequences.
+
+An :class:`Application` executes a fixed per-timestep sequence of
+region invocations against an :class:`~repro.openmp.runtime.
+OpenMPRuntime`; :func:`run_application` measures wall time via the
+node clock and package energy via RAPL, and accumulates per-region
+totals (the Figure 9 breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.records import RegionExecutionRecord, RegionTotals
+from repro.openmp.region import RegionProfile
+from repro.openmp.runtime import OpenMPRuntime
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class RegionCall:
+    """``calls`` consecutive invocations of one region per timestep.
+
+    Consecutive bursts matter: ARCS only pays configuration-changing
+    overhead at region *boundaries*, so call structure shapes the
+    Section V-C overhead story.
+    """
+
+    region: RegionProfile
+    calls: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive("calls", self.calls)
+
+
+@dataclass(frozen=True)
+class Application:
+    """A benchmark application."""
+
+    name: str
+    workload: str                       # class ("B"/"C") or mesh size
+    step_sequence: tuple[RegionCall, ...]
+    timesteps: int
+
+    def __post_init__(self) -> None:
+        require_positive("timesteps", self.timesteps)
+        if not self.step_sequence:
+            raise ValueError("step_sequence must be non-empty")
+        names = [rc.region.name for rc in self.step_sequence]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"duplicate region names in step sequence: {names}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}.{self.workload}"
+
+    def regions(self) -> list[RegionProfile]:
+        return [rc.region for rc in self.step_sequence]
+
+    def region_names(self) -> list[str]:
+        return [rc.region.name for rc in self.step_sequence]
+
+    def calls_per_step(self) -> int:
+        return sum(rc.calls for rc in self.step_sequence)
+
+
+@dataclass
+class _RegionAccumulator:
+    calls: int = 0
+    implicit_task_s: float = 0.0
+    loop_s: float = 0.0
+    barrier_s: float = 0.0
+    energy_j: float = 0.0
+    l1_sum: float = 0.0
+    l2_sum: float = 0.0
+    l3_sum: float = 0.0
+
+    def add(self, record: RegionExecutionRecord) -> None:
+        n = record.config.n_threads
+        self.calls += 1
+        self.implicit_task_s += record.time_s
+        self.loop_s += sum(record.thread_busy_s) / n
+        self.barrier_s += record.barrier_wait_total_s / n
+        self.energy_j += record.energy_j
+        self.l1_sum += record.l1_miss_rate
+        self.l2_sum += record.l2_miss_rate
+        self.l3_sum += record.l3_miss_rate
+
+
+@dataclass(frozen=True)
+class AppRunResult:
+    """Outcome of one application run."""
+
+    app_label: str
+    time_s: float
+    energy_j: float | None              # None on machines w/o counters
+    region_totals: dict[str, RegionTotals]
+    region_miss_rates: dict[str, tuple[float, float, float]]
+    total_region_calls: int
+
+    def total_barrier_s(self) -> float:
+        return sum(t.barrier_s for t in self.region_totals.values())
+
+
+def run_application(
+    app: Application, runtime: OpenMPRuntime
+) -> AppRunResult:
+    """Execute ``app`` once on ``runtime`` and measure it.
+
+    Wall time is the node-clock delta (so ARCS/APEX overheads charged
+    to the clock are included, exactly as a real wall-clock measurement
+    would include them); energy is the RAPL package-counter delta.
+    """
+    node = runtime.node
+    has_energy = node.spec.supports_energy_counters
+    t0 = node.now_s
+    e0 = node.read_package_energy_j() if has_energy else 0.0
+
+    acc: dict[str, _RegionAccumulator] = {}
+    calls = 0
+    for _step in range(app.timesteps):
+        for rc in app.step_sequence:
+            bucket = acc.setdefault(rc.region.name, _RegionAccumulator())
+            for _ in range(rc.calls):
+                record = runtime.parallel_for(rc.region)
+                bucket.add(record)
+                calls += 1
+
+    time_s = node.now_s - t0
+    energy_j = (
+        node.read_package_energy_j() - e0 if has_energy else None
+    )
+    totals = {
+        name: RegionTotals(
+            region_name=name,
+            calls=a.calls,
+            implicit_task_s=a.implicit_task_s,
+            loop_s=a.loop_s,
+            barrier_s=a.barrier_s,
+            energy_j=a.energy_j,
+        )
+        for name, a in acc.items()
+    }
+    miss_rates = {
+        name: (
+            a.l1_sum / a.calls,
+            a.l2_sum / a.calls,
+            a.l3_sum / a.calls,
+        )
+        for name, a in acc.items()
+        if a.calls
+    }
+    return AppRunResult(
+        app_label=app.label,
+        time_s=time_s,
+        energy_j=energy_j,
+        region_totals=totals,
+        region_miss_rates=miss_rates,
+        total_region_calls=calls,
+    )

@@ -1,0 +1,147 @@
+"""LULESH 2.0 - LLNL shock hydrodynamics proxy application.
+
+Paper characterization (Sections IV-C, V-C): "it shows excellent load
+balancing and cache behavior"; mesh sizes 45 and 60.  The Figure 9
+profile singles out five regions:
+
+* ``EvalEOSForElems`` - the most time-consuming by inclusive time but
+  almost all of it in OpenMP_BARRIER; ~0.8 ms per region call;
+* ``CalcPressureForElems`` - similar, ~1.4 ms per call;
+* ``CalcKinematicsForElems`` / ``CalcMonotonicQGradientsForElems`` -
+  large, near-perfectly balanced (0.8% / 0.26% barrier time);
+* ``CalcFBHourglassForceForElems`` - large with ~6% barrier time, the
+  one region ARCS improves on Crill.
+
+The EOS/pressure regions run over per-material element subsets (hence
+the small trip counts and per-call times) and are invoked in bursts
+within each timestep, which is exactly what makes the ~0.8 ms
+configuration-change overhead catastrophic for ARCS-Online there.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cache import MemoryProfile
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.util.validation import require_in
+from repro.workloads.base import Application, RegionCall
+
+#: mesh -> edge elements; the paper used 45 and 60.
+LULESH_MESHES = (45, 60)
+
+LULESH_TIMESTEPS = 40
+
+WORD = 8
+
+
+def _region(
+    name: str,
+    iters: int,
+    cpu_ns: float,
+    bytes_per_iter: float,
+    footprint: float,
+    reuse: float,
+    imbalance: ImbalanceSpec,
+    stride: float = 8.0,
+    serial_ns: float = 0.0,
+) -> RegionProfile:
+    return RegionProfile(
+        name=name,
+        iterations=iters,
+        cpu_ns_per_iter=cpu_ns,
+        memory=MemoryProfile(
+            bytes_per_iter=bytes_per_iter,
+            stride_bytes=stride,
+            footprint_bytes=footprint,
+            reuse_fraction=reuse,
+        ),
+        imbalance=imbalance,
+        serial_ns=serial_ns,
+    )
+
+
+def lulesh_application(mesh: int = 45) -> Application:
+    """Build LULESH for ``mesh`` in {45, 60}."""
+    require_in("mesh", mesh, LULESH_MESHES)
+    num_elem = mesh ** 3
+    num_node = (mesh + 1) ** 3
+    elem_fields = float(num_elem * WORD)     # one scalar element field
+    node_fields = float(num_node * WORD)
+
+    near_perfect = ImbalanceSpec(kind="random", amplitude=0.012)
+    perfect = ImbalanceSpec(kind="random", amplitude=0.006)
+    slight = ImbalanceSpec(kind="random", amplitude=0.09)
+    # EOS iterates per-element Newton solves whose counts vary across
+    # the material region - a step profile with a heavy tail.
+    eos_imbalance = ImbalanceSpec(
+        kind="step", amplitude=0.22, heavy_fraction=0.2
+    )
+    pressure_imbalance = ImbalanceSpec(
+        kind="step", amplitude=0.12, heavy_fraction=0.25
+    )
+
+    # per-material element subsets the EOS bursts operate on
+    eos_iters = max(2048, num_elem // 12)
+
+    big_regions = [
+        _region(
+            "CalcKinematicsForElems_", num_elem, 3.6e3,
+            760.0, elem_fields * 22, 0.42, near_perfect,
+        ),
+        _region(
+            "CalcMonotonicQGradientsForElems_", num_elem, 2.6e3,
+            600.0, elem_fields * 18, 0.40, perfect,
+        ),
+        _region(
+            "CalcFBHourglassForceForElems_", num_elem, 4.4e3,
+            1000.0, elem_fields * 30, 0.35, slight,
+        ),
+        _region(
+            "IntegrateStressForElems_", num_elem, 2.0e3,
+            820.0, elem_fields * 24, 0.40, perfect,
+        ),
+        _region(
+            "CalcLagrangeElements_", num_elem, 1.3e3,
+            440.0, elem_fields * 12, 0.45, perfect,
+        ),
+        _region(
+            "CalcVelocityForNodes_", num_node, 0.8e3,
+            280.0, node_fields * 6, 0.50, perfect,
+        ),
+        _region(
+            "CalcPositionForNodes_", num_node, 0.7e3,
+            280.0, node_fields * 6, 0.50, perfect,
+        ),
+    ]
+    tiny_regions = [
+        # ~0.8 ms/call at the default config on Crill
+        # EvalEOS/CalcPressure contain master-only compress/expand
+        # glue (single constructs) - the serial_ns below - which is why
+        # Figure 9 shows their inclusive time dominated by barrier
+        # waits that no configuration can remove.
+        RegionCall(
+            region=_region(
+                "EvalEOSForElems_", eos_iters, 0.95e3,
+                64.0, elem_fields * 3, 0.45, eos_imbalance,
+                serial_ns=0.38e6,
+            ),
+            calls=48,
+        ),
+        # ~1.4 ms/call
+        RegionCall(
+            region=_region(
+                "CalcPressureForElems_", eos_iters, 1.7e3,
+                72.0, elem_fields * 3, 0.45, pressure_imbalance,
+                serial_ns=0.62e6,
+            ),
+            calls=24,
+        ),
+    ]
+    sequence = tuple(
+        [RegionCall(region=r) for r in big_regions] + tiny_regions
+    )
+    return Application(
+        name="lulesh",
+        workload=str(mesh),
+        step_sequence=sequence,
+        timesteps=LULESH_TIMESTEPS,
+    )

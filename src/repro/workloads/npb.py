@@ -1,0 +1,59 @@
+"""Shared NPB machinery (BT and SP, NPB 3.3-OMP-C).
+
+Both codes are 3-D structured-grid CFD kernels whose OpenMP regions
+parallelize the outermost grid dimension, so the parallel trip count
+equals the grid extent (minus boundary planes).  Classes follow the
+NPB size table: B = 102^3, C = 162^3.  The paper ran "custom time
+steps"; we fix 60 for both classes so runs stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_in
+
+#: NPB class -> grid extent per dimension.
+NPB_GRID = {"B": 102, "C": 162}
+
+#: custom time steps used for all NPB runs in this reproduction.
+NPB_TIMESTEPS = 60
+
+#: bytes per grid point per solution variable (double precision).
+WORD = 8
+
+
+@dataclass(frozen=True)
+class NpbGeometry:
+    """Derived sizes for one NPB class."""
+
+    npb_class: str
+    grid: int
+
+    @property
+    def interior(self) -> int:
+        """Interior extent - the parallel trip count of solver loops."""
+        return self.grid - 2
+
+    @property
+    def plane_points(self) -> int:
+        return self.grid * self.grid
+
+    @property
+    def plane_bytes(self) -> float:
+        """One plane of one variable - the z-direction stride."""
+        return float(self.plane_points * WORD)
+
+    @property
+    def row_bytes(self) -> float:
+        """One grid row - the y-direction stride."""
+        return float(self.grid * WORD)
+
+    def field_mib(self, n_vars: int) -> float:
+        """Footprint in bytes of ``n_vars`` full 3-D fields."""
+        return float(self.grid ** 3 * WORD * n_vars)
+
+
+def geometry(npb_class: str) -> NpbGeometry:
+    require_in("npb_class", npb_class, tuple(NPB_GRID))
+    return NpbGeometry(npb_class=npb_class, grid=NPB_GRID[npb_class])

@@ -1,0 +1,110 @@
+"""SP - Scalar Pentadiagonal NPB kernel.
+
+Paper characterization (Sections IV-C, V-A): "SP is an application
+which shows a good load balancing behavior and poor cache behavior
+with the default configuration.  SP consists of 13 loop based OpenMP
+regions.  However, almost 75% of its execution time is spent on four
+regions (compute_rhs, x_solve, y_solve and z_solve).  Among them,
+compute_rhs has a poor load balancing and cache behavior; x_solve,
+y_solve and z_solve have good load balancing but show poor cache
+behavior."
+
+The memory profiles encode *why* the cache behaviour is poor: SP's
+scalar pentadiagonal sweeps stream five full 3-D fields (footprints
+well beyond the 20 MiB shared L3), and the y/z sweeps stride by a row /
+a plane respectively.  The per-iteration costs are calibrated so a
+class-B region call lands in the tens of milliseconds at the default
+configuration, matching the scale of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cache import MemoryProfile
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.workloads.base import Application, RegionCall
+from repro.workloads.npb import NPB_TIMESTEPS, geometry
+
+
+def _region(
+    name: str,
+    iters: int,
+    cpu_ns: float,
+    bytes_per_iter: float,
+    stride: float,
+    footprint: float,
+    reuse: float,
+    imbalance: ImbalanceSpec,
+    window: float | None = None,
+) -> RegionProfile:
+    return RegionProfile(
+        name=name,
+        iterations=iters,
+        cpu_ns_per_iter=cpu_ns,
+        memory=MemoryProfile(
+            bytes_per_iter=bytes_per_iter,
+            stride_bytes=stride,
+            footprint_bytes=footprint,
+            reuse_fraction=reuse,
+            reuse_window_bytes=window,
+        ),
+        imbalance=imbalance,
+    )
+
+
+def sp_application(npb_class: str = "B") -> Application:
+    """Build SP for class ``"B"`` or ``"C"``."""
+    g = geometry(npb_class)
+    n = g.interior
+    # work per interior plane: each sweep touches ~5 variables over a
+    # plane; compute_rhs does the heaviest arithmetic.
+    plane5 = 5.0 * g.plane_bytes
+    fields5 = g.field_mib(5)
+    # stencil neighbourhood: ~5 planes of 5 variables re-referenced
+    # around the current sweep position
+    window5 = 5.0 * plane5
+
+    balanced = ImbalanceSpec(kind="random", amplitude=0.035)
+    rhs_imbalance = ImbalanceSpec(kind="random", amplitude=0.22)
+
+    major = [
+        _region(
+            "compute_rhs", n, 0.90e6, plane5 * 1.4, 8.0,
+            fields5 * 1.3, 0.80, rhs_imbalance, window=window5 * 1.4,
+        ),
+        _region(
+            "x_solve", n, 0.55e6, plane5 * 1.3, 8.0,
+            fields5, 0.85, balanced, window=window5,
+        ),
+        _region(
+            "y_solve", n, 0.45e6, plane5, g.row_bytes,
+            fields5, 0.85, balanced, window=window5,
+        ),
+        _region(
+            "z_solve", n, 0.50e6, plane5, g.plane_bytes,
+            fields5, 0.82, balanced, window=window5,
+        ),
+    ]
+    # nine minor regions (txinvr, add, exact_rhs pieces, initialization
+    # helpers): lighter, mostly streaming, collectively ~25% of time.
+    minor_names = (
+        "txinvr", "ninvr", "pinvr", "tzetar", "add",
+        "lhsinit_x", "lhsinit_y", "lhsinit_z", "error_norm",
+    )
+    minor = [
+        _region(
+            name, n, 0.14e6, plane5 * 0.4, 8.0,
+            g.field_mib(2), 0.55,
+            ImbalanceSpec(kind="random", amplitude=0.02),
+            window=g.plane_bytes * 4,
+        )
+        for name in minor_names
+    ]
+    sequence = tuple(
+        RegionCall(region=r) for r in (major + minor)
+    )
+    return Application(
+        name="sp",
+        workload=npb_class,
+        step_sequence=sequence,
+        timesteps=NPB_TIMESTEPS,
+    )

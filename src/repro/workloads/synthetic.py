@@ -1,0 +1,92 @@
+"""Synthetic workload generators for tests and ablation benches."""
+
+from __future__ import annotations
+
+from repro.machine.cache import MemoryProfile
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.util.units import MIB
+from repro.workloads.base import Application, RegionCall
+
+
+def imbalanced_region(
+    name: str = "synthetic_imbalanced",
+    iterations: int = 256,
+    amplitude: float = 0.5,
+    kind: str = "linear",
+) -> RegionProfile:
+    """A compute-bound region with controllable load imbalance - the
+    canonical case where dynamic/guided beat default static."""
+    return RegionProfile(
+        name=name,
+        iterations=iterations,
+        cpu_ns_per_iter=4.0e5,
+        memory=MemoryProfile(
+            bytes_per_iter=2048.0,
+            stride_bytes=8.0,
+            footprint_bytes=2 * MIB,
+            reuse_fraction=0.6,
+        ),
+        imbalance=ImbalanceSpec(kind=kind, amplitude=amplitude),
+    )
+
+
+def cache_hostile_region(
+    name: str = "synthetic_cache_hostile",
+    iterations: int = 256,
+    stride_bytes: float = 8192.0,
+    footprint_mib: float = 64.0,
+) -> RegionProfile:
+    """A long-stride, L3-busting region - the canonical case where
+    fewer threads / different chunking beat the default."""
+    return RegionProfile(
+        name=name,
+        iterations=iterations,
+        cpu_ns_per_iter=2.0e5,
+        memory=MemoryProfile(
+            bytes_per_iter=256.0e3,
+            stride_bytes=stride_bytes,
+            footprint_bytes=footprint_mib * MIB,
+            reuse_fraction=0.1,
+        ),
+        imbalance=ImbalanceSpec(kind="random", amplitude=0.03),
+    )
+
+
+def tiny_region(
+    name: str = "synthetic_tiny",
+    iterations: int = 512,
+    cpu_ns_per_iter: float = 1.0e3,
+) -> RegionProfile:
+    """A region whose per-call time is comparable to the ARCS
+    configuration-change overhead (the LULESH EvalEOS situation)."""
+    return RegionProfile(
+        name=name,
+        iterations=iterations,
+        cpu_ns_per_iter=cpu_ns_per_iter,
+        memory=MemoryProfile(
+            bytes_per_iter=64.0,
+            stride_bytes=8.0,
+            footprint_bytes=1 * MIB,
+            reuse_fraction=0.5,
+        ),
+        imbalance=ImbalanceSpec(kind="random", amplitude=0.3),
+    )
+
+
+def synthetic_application(
+    timesteps: int = 30,
+    include_tiny: bool = True,
+) -> Application:
+    """A small mixed application exercising all behaviour classes."""
+    calls = [
+        RegionCall(region=imbalanced_region()),
+        RegionCall(region=cache_hostile_region()),
+    ]
+    if include_tiny:
+        calls.append(RegionCall(region=tiny_region(), calls=16))
+    return Application(
+        name="synthetic",
+        workload="mixed",
+        step_sequence=tuple(calls),
+        timesteps=timesteps,
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill, minotaur
+from repro.openmp.runtime import OpenMPRuntime
+
+
+@pytest.fixture
+def crill_spec():
+    return crill()
+
+
+@pytest.fixture
+def minotaur_spec():
+    return minotaur()
+
+
+@pytest.fixture
+def crill_node(crill_spec):
+    return SimulatedNode(crill_spec)
+
+
+@pytest.fixture
+def minotaur_node(minotaur_spec):
+    return SimulatedNode(minotaur_spec)
+
+
+@pytest.fixture
+def runtime(crill_node):
+    """A noiseless runtime on Crill (deterministic timings)."""
+    return OpenMPRuntime(crill_node, noise_sigma=0.0)
+
+
+@pytest.fixture
+def noisy_runtime(crill_node):
+    return OpenMPRuntime(crill_node, seed=7, noise_sigma=0.02)

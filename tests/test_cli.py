@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "sp"
+        assert args.strategy == "arcs-offline"
+        assert args.cap is None
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "crill" in out and "arcs-offline" in out
+
+    def test_search_space(self, capsys):
+        assert main(["search-space"]) == 0
+        out = capsys.readouterr().out
+        assert "2, 4, 8, 16, 24, 32, default" in out
+
+    def test_search_space_bad_machine(self):
+        with pytest.raises(ValueError):
+            main(["search-space", "--machine", "frontier"])
+
+    def test_run_default_strategy(self, capsys):
+        code = main(
+            [
+                "run", "--app", "synthetic", "--strategy", "default",
+                "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time" in out and "energy" in out
+
+    def test_run_online_with_cap(self, capsys):
+        code = main(
+            [
+                "run", "--app", "synthetic", "--strategy", "arcs-online",
+                "--cap", "85", "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "85W" in out
+        assert "chosen configurations" in out
+
+    def test_run_offline_with_history_file(self, tmp_path, capsys):
+        history = tmp_path / "h.json"
+        argv = [
+            "run", "--app", "synthetic", "--strategy", "arcs-offline",
+            "--repeats", "1", "--history", str(history),
+        ]
+        assert main(argv) == 0
+        assert history.exists()
+        capsys.readouterr()
+        # second invocation reuses the tuned history
+        assert main(argv) == 0
+        assert "chosen configurations" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for the ARCS search space (paper Table I)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    ARCS_CHUNK_VALUES,
+    ARCS_SCHEDULE_VALUES,
+    arcs_thread_values,
+    config_from_point,
+    default_start_point,
+    point_from_config,
+    search_space_for,
+)
+from repro.machine.spec import crill, minotaur
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+class TestTable1Values:
+    def test_crill_threads(self):
+        assert arcs_thread_values(crill()) == (2, 4, 8, 16, 24, 32)
+
+    def test_minotaur_threads(self):
+        assert arcs_thread_values(minotaur()) == (
+            10, 20, 40, 80, 120, 160,
+        )
+
+    def test_chunk_values(self):
+        assert ARCS_CHUNK_VALUES == (
+            None, 1, 8, 16, 32, 64, 128, 256, 512,
+        )
+
+    def test_schedule_values(self):
+        assert set(ARCS_SCHEDULE_VALUES) == {
+            ScheduleKind.STATIC,
+            ScheduleKind.DYNAMIC,
+            ScheduleKind.GUIDED,
+        }
+
+    def test_unknown_machine_doubling_series(self):
+        spec = dataclasses.replace(crill(), name="other")
+        values = arcs_thread_values(spec)
+        assert values[-1] == spec.total_hw_threads
+        assert values[0] == 2
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestSearchSpace:
+    def test_crill_space_size(self):
+        assert search_space_for(crill()).size == 6 * 3 * 9
+
+    def test_minotaur_space_size(self):
+        assert search_space_for(minotaur()).size == 6 * 3 * 9
+
+    def test_parameter_names(self):
+        space = search_space_for(crill())
+        assert [p.name for p in space.parameters] == [
+            "n_threads", "schedule", "chunk",
+        ]
+
+
+class TestPointCodec:
+    def test_roundtrip(self):
+        cfg = OMPConfig(16, ScheduleKind.GUIDED, 8)
+        assert config_from_point(point_from_config(cfg)) == cfg
+
+    def test_decode_string_schedule(self):
+        cfg = config_from_point(
+            {"n_threads": 4, "schedule": "dynamic", "chunk": None}
+        )
+        assert cfg.schedule is ScheduleKind.DYNAMIC
+        assert cfg.chunk is None
+
+    def test_every_space_point_decodes(self):
+        space = search_space_for(crill())
+        for indices in space.iter_indices():
+            cfg = config_from_point(space.decode(indices))
+            assert 2 <= cfg.n_threads <= 32
+
+
+class TestStartPoint:
+    def test_start_is_default_config(self):
+        spec = crill()
+        space = search_space_for(spec)
+        point = space.decode(default_start_point(spec, space))
+        assert point["n_threads"] == 32
+        assert point["schedule"] is ScheduleKind.STATIC
+        assert point["chunk"] is None

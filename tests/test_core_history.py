@@ -1,0 +1,82 @@
+"""Tests for the ARCS history store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import HistoryStore, experiment_key
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+def configs():
+    return {
+        "x_solve": OMPConfig(16, ScheduleKind.GUIDED, 1),
+        "y_solve": OMPConfig(8, ScheduleKind.STATIC, None),
+    }
+
+
+class TestInMemory:
+    def test_save_load_roundtrip(self):
+        store = HistoryStore()
+        store.save("k", configs(), {"x_solve": 1.5})
+        assert store.load("k") == configs()
+        assert store.load_values("k")["x_solve"] == 1.5
+        assert store.load_values("k")["y_solve"] is None
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            HistoryStore().load("missing")
+
+    def test_has_and_keys(self):
+        store = HistoryStore()
+        assert not store.has("k")
+        store.save("k", configs())
+        assert store.has("k")
+        assert store.keys() == ["k"]
+
+    def test_overwrite(self):
+        store = HistoryStore()
+        store.save("k", configs())
+        store.save("k", {"only": OMPConfig(2)})
+        assert list(store.load("k")) == ["only"]
+
+
+class TestPersistence:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "history.json"
+        store = HistoryStore(path)
+        store.save("k", configs(), {"y_solve": 0.25})
+        reloaded = HistoryStore(path)
+        assert reloaded.load("k") == configs()
+        assert reloaded.load_values("k")["y_solve"] == 0.25
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "h.json"
+        HistoryStore(path).save("k", configs())
+        assert path.exists()
+
+    def test_chunk_none_survives_json(self, tmp_path):
+        path = tmp_path / "h.json"
+        HistoryStore(path).save(
+            "k", {"r": OMPConfig(4, ScheduleKind.STATIC, None)}
+        )
+        assert HistoryStore(path).load("k")["r"].chunk is None
+
+
+class TestExperimentKey:
+    def test_capped(self):
+        assert experiment_key("sp", "crill", 85.0, "B") == (
+            "sp|crill|85W|B"
+        )
+
+    def test_uncapped_is_tdp(self):
+        assert experiment_key("sp", "crill", None, "B") == (
+            "sp|crill|tdp|B"
+        )
+
+    def test_distinct_per_cap(self):
+        keys = {
+            experiment_key("sp", "crill", cap, "B")
+            for cap in (55.0, 70.0, 85.0, None)
+        }
+        assert len(keys) == 4

@@ -1,0 +1,59 @@
+"""End-to-end determinism: identical seeds must reproduce entire
+experiments bit-for-bit - the property every other test relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+)
+from repro.machine.spec import crill
+from repro.workloads.synthetic import synthetic_application
+
+
+@pytest.fixture
+def app():
+    return synthetic_application(timesteps=5, include_tiny=False)
+
+
+def setup(seed):
+    return ExperimentSetup(
+        spec=crill(), cap_w=85.0, repeats=2, seed=seed,
+        noise_sigma=0.01,
+    )
+
+
+class TestExperimentDeterminism:
+    def test_default_reproducible(self, app):
+        a = run_default(app, setup(3))
+        b = run_default(app, setup(3))
+        assert a.time_s == b.time_s
+        assert a.energy_j == b.energy_j
+
+    def test_default_seed_sensitivity(self, app):
+        a = run_default(app, setup(3))
+        b = run_default(app, setup(4))
+        assert a.time_s != b.time_s
+
+    def test_online_reproducible_incl_choices(self, app):
+        a = run_arcs_online(app, setup(3))
+        b = run_arcs_online(app, setup(3))
+        assert a.time_s == b.time_s
+        assert a.chosen_configs == b.chosen_configs
+        assert a.overhead == b.overhead
+
+    def test_offline_reproducible(self, app):
+        a = run_arcs_offline(app, setup(3))
+        b = run_arcs_offline(app, setup(3))
+        assert a.time_s == b.time_s
+        assert a.chosen_configs == b.chosen_configs
+
+    def test_repeat_runs_differ_within_experiment(self, app):
+        """The three repeats see different noise streams."""
+        result = run_default(app, setup(3))
+        times = [r.time_s for r in result.runs]
+        assert len(set(times)) == len(times)

@@ -1,0 +1,240 @@
+"""Tests for the future-work extensions: TAU profiler, cap-aware
+adaptation, the DVFS dimension, alternative objectives and the DRAM
+power domain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apex.tau import TauProfiler
+from repro.core.config import dvfs_frequency_values, search_space_for
+from repro.core.controller import ARCS
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill, minotaur
+from repro.openmp.runtime import DVFS_WRITE_OVERHEAD_S, OpenMPRuntime
+from tests.test_core_policy import tiny_space
+from tests.test_openmp_engine import make_region
+
+
+class TestTauProfiler:
+    def test_accumulates_ompt_breakdown(self, runtime):
+        profiler = TauProfiler()
+        profiler.attach(runtime)
+        rec = runtime.parallel_for(make_region(name="t"))
+        runtime.parallel_for(make_region(name="t"))
+        profile = profiler.regions["t"]
+        assert profile.calls == 2
+        assert profile.implicit_task_s == pytest.approx(2 * rec.time_s)
+        assert profile.loop_s > 0
+        assert profile.barrier_s >= 0
+        assert 0 <= profile.barrier_fraction <= 1
+
+    def test_top_by_inclusive_time(self, runtime):
+        profiler = TauProfiler()
+        profiler.attach(runtime)
+        runtime.parallel_for(make_region(name="big", cpu_ns=1e6))
+        runtime.parallel_for(make_region(name="small", cpu_ns=1e4))
+        tops = profiler.top_by_inclusive_time(2)
+        assert tops[0].region_name == "big"
+
+    def test_detach_stops_collection(self, runtime):
+        profiler = TauProfiler()
+        profiler.attach(runtime)
+        profiler.detach()
+        runtime.parallel_for(make_region(name="t"))
+        assert "t" not in profiler.regions
+
+    def test_double_attach_rejected(self, runtime):
+        profiler = TauProfiler()
+        profiler.attach(runtime)
+        with pytest.raises(RuntimeError):
+            profiler.attach(runtime)
+
+    def test_coexists_with_arcs(self, runtime):
+        profiler = TauProfiler()
+        profiler.attach(runtime)
+        arcs = ARCS(runtime, space=tiny_space(), strategy="exhaustive")
+        arcs.attach()
+        runtime.parallel_for(make_region(name="both"))
+        assert "both" in profiler.regions
+        assert "both" in arcs.policy.sessions()
+
+
+class TestCapAwareAdaptation:
+    """Section II: configurations must adapt when the resource manager
+    changes the node's power level mid-run."""
+
+    def test_sessions_keyed_per_cap(self, runtime):
+        arcs = ARCS(
+            runtime, space=tiny_space(), strategy="exhaustive",
+            cap_aware=True,
+        )
+        arcs.attach()
+        region = make_region(name="r")
+        runtime.parallel_for(region)
+        runtime.node.set_power_cap(55.0)
+        runtime.node.settle_after_cap()
+        runtime.parallel_for(region)
+        sessions = arcs.policy.sessions()
+        assert "r@tdp" in sessions
+        assert "r@55W" in sessions
+
+    def test_cap_change_restarts_tuning(self, runtime):
+        space = tiny_space()
+        arcs = ARCS(
+            runtime, space=space, strategy="exhaustive", cap_aware=True
+        )
+        arcs.attach()
+        region = make_region(name="r")
+        for _ in range(space.size + 1):
+            runtime.parallel_for(region)
+        assert arcs.policy.sessions()["r@tdp"].converged
+        runtime.node.set_power_cap(55.0)
+        runtime.node.settle_after_cap()
+        runtime.parallel_for(region)
+        assert not arcs.policy.sessions()["r@55W"].converged
+
+    def test_without_flag_sessions_shared_across_caps(self, runtime):
+        arcs = ARCS(runtime, space=tiny_space(), strategy="exhaustive")
+        arcs.attach()
+        region = make_region(name="r")
+        runtime.parallel_for(region)
+        runtime.node.set_power_cap(55.0)
+        runtime.node.settle_after_cap()
+        runtime.parallel_for(region)
+        assert set(arcs.policy.sessions()) == {"r"}
+
+
+class TestDvfsDimension:
+    def test_frequency_values(self):
+        values = dvfs_frequency_values(crill())
+        assert values[0] is None
+        assert values[1] == pytest.approx(1.2)
+        assert values[-1] == pytest.approx(2.4)
+
+    def test_space_gains_dimension(self):
+        base = search_space_for(crill())
+        dvfs = search_space_for(crill(), include_dvfs=True)
+        assert dvfs.dimensions == base.dimensions + 1
+        assert dvfs.size == base.size * 6
+
+    def test_node_frequency_limit_clamps(self, crill_node):
+        placement = crill_node.topology.place(4)
+        crill_node.set_frequency_limit(1.5)
+        assert all(
+            f <= 1.5 for f in crill_node.frequency_for_team(placement)
+        )
+
+    def test_limit_validated(self, crill_node):
+        with pytest.raises(ValueError):
+            crill_node.set_frequency_limit(0.5)
+        with pytest.raises(ValueError):
+            crill_node.set_frequency_limit(5.0)
+
+    def test_runtime_dvfs_write_costs_time(self, runtime):
+        t0 = runtime.node.now_s
+        runtime.set_frequency_limit(1.8)
+        assert runtime.node.now_s - t0 == pytest.approx(
+            DVFS_WRITE_OVERHEAD_S
+        )
+        assert runtime.frequency_limit() == 1.8
+
+    def test_limit_slows_execution(self, runtime):
+        region = make_region(cpu_ns=1e6, bytes_per_iter=64.0)
+        fast = runtime.parallel_for(region)
+        runtime.set_frequency_limit(1.2)
+        slow = runtime.parallel_for(region)
+        assert slow.time_s > fast.time_s
+        assert max(slow.frequencies_ghz) <= 1.2
+
+    def test_arcs_tunes_frequency_dimension(self, runtime):
+        space = search_space_for(crill(), include_dvfs=True)
+        arcs = ARCS(runtime, space=space, strategy="nelder-mead",
+                    max_evals=15)
+        arcs.attach()
+        region = make_region(name="r")
+        for _ in range(20):
+            runtime.parallel_for(region)
+        points = arcs.policy.best_points()
+        assert "freq_ghz" in points["r"]
+
+
+class TestObjectives:
+    def test_invalid_objective_rejected(self, runtime):
+        with pytest.raises(ValueError, match="objective"):
+            ARCS(runtime, objective="flops")
+
+    def test_energy_objective_needs_counters(self, minotaur_node):
+        runtime = OpenMPRuntime(minotaur_node, noise_sigma=0.0)
+        with pytest.raises(ValueError, match="energy counters"):
+            ARCS(runtime, objective="energy")
+
+    def test_energy_objective_prefers_lower_energy(self, runtime):
+        """An energy-tuned exhaustive session picks the config with the
+        lowest measured energy, even if it is not the fastest."""
+        space = tiny_space()
+        arcs = ARCS(
+            runtime, space=space, strategy="exhaustive",
+            objective="energy",
+        )
+        arcs.attach()
+        region = make_region(name="r", cpu_ns=1e6)
+        for _ in range(space.size + 1):
+            runtime.parallel_for(region)
+        best_value = arcs.policy.best_values()["r"]
+        # the best value is an energy (joules), an order of magnitude
+        # above any plausible region time in seconds for this region
+        assert best_value > 0.05
+
+    @pytest.mark.parametrize("objective", ["time", "energy", "edp"])
+    def test_all_objectives_run(self, runtime, objective):
+        space = tiny_space()
+        arcs = ARCS(
+            runtime, space=space, strategy="nelder-mead",
+            max_evals=8, objective=objective,
+        )
+        arcs.attach()
+        for _ in range(10):
+            runtime.parallel_for(make_region(name="r"))
+        assert arcs.chosen_configs()
+
+
+class TestDramDomain:
+    def test_dram_energy_accumulates(self, runtime):
+        runtime.parallel_for(make_region())
+        assert runtime.node.read_dram_energy_j() > 0
+
+    def test_dram_counter_separate_from_package(self, runtime):
+        runtime.parallel_for(make_region())
+        pkg = runtime.node.read_package_energy_j()
+        dram = runtime.node.read_dram_energy_j()
+        assert pkg != dram
+        assert dram < pkg
+
+    def test_record_carries_dram_energy(self, runtime):
+        rec = runtime.parallel_for(make_region())
+        assert rec.dram_energy_j > 0
+
+    def test_memory_heavy_region_more_dram_energy_per_second(
+        self, runtime
+    ):
+        light = runtime.parallel_for(
+            make_region(name="light", bytes_per_iter=64.0)
+        )
+        heavy = runtime.parallel_for(
+            make_region(
+                name="heavy",
+                bytes_per_iter=512.0e3,
+                stride_bytes=8192.0,
+                footprint_bytes=256 * 1024 * 1024,
+                reuse_fraction=0.05,
+            )
+        )
+        assert (
+            heavy.dram_energy_j / heavy.time_s
+            > light.dram_energy_j / light.time_s
+        )
+
+    def test_minotaur_counters_forbidden(self, minotaur_node):
+        with pytest.raises(PermissionError):
+            minotaur_node.read_dram_energy_j()

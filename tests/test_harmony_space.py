@@ -1,0 +1,107 @@
+"""Tests for the Active Harmony search-space abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harmony.space import Parameter, SearchSpace
+
+
+@pytest.fixture
+def space():
+    return SearchSpace(
+        parameters=(
+            Parameter("threads", (2, 4, 8, 16)),
+            Parameter("schedule", ("static", "dynamic", "guided")),
+            Parameter("chunk", (None, 1, 8)),
+        )
+    )
+
+
+class TestParameter:
+    def test_cardinality(self):
+        assert Parameter("p", (1, 2, 3)).cardinality == 3
+
+    def test_value_index_roundtrip(self):
+        p = Parameter("p", ("a", "b", "c"))
+        for i, v in enumerate(p.values):
+            assert p.value_at(i) == v
+            assert p.index_of(v) == i
+
+    def test_out_of_range(self):
+        p = Parameter("p", (1, 2))
+        with pytest.raises(IndexError):
+            p.value_at(2)
+        with pytest.raises(ValueError):
+            p.index_of(99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("p", ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("p", (1, 1))
+
+
+class TestSearchSpace:
+    def test_size(self, space):
+        assert space.size == 4 * 3 * 3
+
+    def test_decode(self, space):
+        point = space.decode((1, 2, 0))
+        assert point == {"threads": 4, "schedule": "guided", "chunk": None}
+
+    def test_encode_roundtrip(self, space):
+        indices = (3, 0, 2)
+        assert space.encode(space.decode(indices)) == indices
+
+    def test_encode_missing_parameter(self, space):
+        with pytest.raises(ValueError, match="missing"):
+            space.encode({"threads": 2})
+
+    def test_clamp(self, space):
+        assert space.clamp((-1, 5, 1)) == (0, 2, 1)
+
+    def test_arity_checked(self, space):
+        with pytest.raises(ValueError):
+            space.decode((0, 0))
+
+    def test_iter_indices_complete_and_unique(self, space):
+        points = list(space.iter_indices())
+        assert len(points) == space.size
+        assert len(set(points)) == space.size
+
+    def test_iter_indices_in_bounds(self, space):
+        for indices in space.iter_indices():
+            assert space.clamp(indices) == indices
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(
+                parameters=(Parameter("a", (1,)), Parameter("a", (2,)))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(parameters=())
+
+
+@given(
+    st.tuples(
+        st.integers(-10, 20), st.integers(-10, 20), st.integers(-10, 20)
+    )
+)
+def test_clamp_always_valid(indices):
+    space = SearchSpace(
+        parameters=(
+            Parameter("a", (1, 2, 3)),
+            Parameter("b", ("x", "y")),
+            Parameter("c", (0, 1, 2, 3, 4)),
+        )
+    )
+    clamped = space.clamp(indices)
+    # decoding the clamped vector never raises
+    space.decode(clamped)

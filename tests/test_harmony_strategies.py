@@ -1,0 +1,224 @@
+"""Tests for the Active Harmony search strategies.
+
+A strategy is driven through the ask/tell protocol against synthetic
+objectives; the key invariants: exhaustive finds the global optimum,
+Nelder-Mead/PRO converge on well-behaved landscapes within budget,
+every strategy respects the protocol, and all proposals stay in-space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harmony.engine import STRATEGIES, make_strategy
+from repro.harmony.exhaustive import ExhaustiveSearch
+from repro.harmony.neldermead import NelderMeadSearch
+from repro.harmony.pro import ParallelRankOrderSearch
+from repro.harmony.random_search import RandomSearch
+from repro.harmony.space import Parameter, SearchSpace
+from repro.util.rng import rng_for
+
+
+def small_space():
+    return SearchSpace(
+        parameters=(
+            Parameter("x", tuple(range(6))),
+            Parameter("y", tuple(range(5))),
+            Parameter("z", tuple(range(4))),
+        )
+    )
+
+
+def drive(strategy, objective, max_steps=10_000):
+    """Run the ask/tell loop to convergence; returns evaluation count."""
+    steps = 0
+    while not strategy.converged and steps < max_steps:
+        indices = strategy.ask()
+        if indices is None:
+            break
+        strategy.tell(indices, objective(indices))
+        steps += 1
+    return steps
+
+
+def convex(indices):
+    """Smooth bowl with minimum at (2, 3, 1)."""
+    target = (2, 3, 1)
+    return 1.0 + sum((i - t) ** 2 for i, t in zip(indices, target))
+
+
+class TestExhaustive:
+    def test_visits_every_point_once(self):
+        space = small_space()
+        seen = []
+        strategy = ExhaustiveSearch(space)
+        drive(strategy, lambda idx: (seen.append(idx), 1.0)[1])
+        assert len(seen) == space.size
+        assert len(set(seen)) == space.size
+
+    def test_finds_global_minimum(self):
+        strategy = ExhaustiveSearch(small_space())
+        drive(strategy, convex)
+        best, value = strategy.best
+        assert best == (2, 3, 1)
+        assert value == 1.0
+
+    def test_finds_minimum_of_random_landscape(self):
+        space = small_space()
+        rng = rng_for(11, "landscape")
+        table = {
+            idx: float(rng.uniform(0, 100))
+            for idx in space.iter_indices()
+        }
+        strategy = ExhaustiveSearch(space)
+        drive(strategy, lambda idx: table[idx])
+        best, value = strategy.best
+        assert value == min(table.values())
+        assert table[best] == value
+
+    def test_tell_must_match_ask(self):
+        strategy = ExhaustiveSearch(small_space())
+        strategy.ask()
+        with pytest.raises(ValueError):
+            strategy.tell((5, 4, 3), 1.0)
+
+    def test_converged_after_enumeration(self):
+        strategy = ExhaustiveSearch(small_space())
+        drive(strategy, convex)
+        assert strategy.converged
+        assert strategy.ask() is None
+
+
+class TestNelderMead:
+    def test_converges_on_convex(self):
+        strategy = NelderMeadSearch(small_space(), max_evals=60)
+        evals = drive(strategy, convex)
+        best, value = strategy.best
+        assert value <= convex((3, 3, 1))  # at least near the bowl
+        assert evals <= 60
+
+    def test_respects_budget(self):
+        strategy = NelderMeadSearch(small_space(), max_evals=10)
+        evals = drive(strategy, convex)
+        assert evals <= 10
+        assert strategy.converged
+
+    def test_proposals_stay_in_space(self):
+        space = small_space()
+        strategy = NelderMeadSearch(space, max_evals=60)
+
+        def checked(indices):
+            assert space.clamp(indices) == indices
+            return convex(indices)
+
+        drive(strategy, checked)
+
+    def test_start_point_used_first(self):
+        strategy = NelderMeadSearch(
+            small_space(), max_evals=50, start=(5, 4, 3)
+        )
+        assert strategy.ask() == (5, 4, 3)
+
+    def test_cached_revisits_cost_nothing(self):
+        """Lattice rounding revisits points; those must not consume
+        extra external evaluations."""
+        strategy = NelderMeadSearch(small_space(), max_evals=100)
+        seen = []
+
+        def objective(indices):
+            seen.append(indices)
+            return convex(indices)
+
+        drive(strategy, objective)
+        assert len(seen) == len(set(seen))
+
+    def test_much_cheaper_than_exhaustive(self):
+        space = small_space()
+        nm = NelderMeadSearch(space, max_evals=space.size)
+        evals = drive(nm, convex)
+        assert evals < space.size / 2
+
+
+class TestPRO:
+    def test_converges_on_convex(self):
+        strategy = ParallelRankOrderSearch(small_space(), max_evals=80)
+        drive(strategy, convex)
+        _best, value = strategy.best
+        assert value <= convex((3, 2, 2))
+
+    def test_respects_budget(self):
+        strategy = ParallelRankOrderSearch(small_space(), max_evals=12)
+        assert drive(strategy, convex) <= 12
+
+    def test_no_duplicate_external_evals(self):
+        strategy = ParallelRankOrderSearch(small_space(), max_evals=100)
+        seen = []
+        drive(strategy, lambda idx: (seen.append(idx), convex(idx))[1])
+        assert len(seen) == len(set(seen))
+
+
+class TestRandomSearch:
+    def test_distinct_samples(self):
+        strategy = RandomSearch(small_space(), max_evals=30, seed=5)
+        seen = []
+        drive(strategy, lambda idx: (seen.append(idx), convex(idx))[1])
+        assert len(seen) == 30
+        assert len(set(seen)) == 30
+
+    def test_budget_capped_at_space_size(self):
+        space = small_space()
+        strategy = RandomSearch(space, max_evals=10_000, seed=0)
+        assert strategy.max_evals == space.size
+
+    def test_seeded_reproducible(self):
+        a = RandomSearch(small_space(), max_evals=10, seed=3)
+        b = RandomSearch(small_space(), max_evals=10, seed=3)
+        plan_a, plan_b = [], []
+        drive(a, lambda idx: (plan_a.append(idx), 1.0)[1])
+        drive(b, lambda idx: (plan_b.append(idx), 1.0)[1])
+        assert plan_a == plan_b
+
+    def test_tracks_best(self):
+        strategy = RandomSearch(small_space(), max_evals=40, seed=1)
+        drive(strategy, convex)
+        best, value = strategy.best
+        assert convex(best) == value
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", STRATEGIES)
+    def test_every_strategy_constructible(self, name):
+        strategy = make_strategy(name, small_space(), max_evals=20)
+        drive(strategy, convex)
+        assert strategy.best is not None
+
+    def test_aliases(self):
+        assert isinstance(
+            make_strategy("nm", small_space()), NelderMeadSearch
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("bayesian", small_space())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=st.sampled_from(["nelder-mead", "pro", "random"]),
+    seed=st.integers(0, 100),
+)
+def test_strategies_always_terminate_and_stay_in_space(name, seed):
+    space = small_space()
+    strategy = make_strategy(name, space, max_evals=30, seed=seed)
+    rng = rng_for(seed, "objective")
+
+    def objective(indices):
+        assert space.clamp(indices) == indices
+        return float(rng.uniform(0, 10))
+
+    steps = drive(strategy, objective, max_steps=500)
+    assert strategy.converged
+    assert steps <= 500
+    assert strategy.best is not None

@@ -1,0 +1,194 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+These are the reproduction's acceptance tests: the *shapes* of the
+evaluation (who wins, roughly by how much, where) must match Section V.
+They run full applications through all three strategies, so they are
+the slowest tests in the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_arcs_online,
+    run_default,
+)
+from repro.machine.spec import crill, minotaur
+from repro.workloads.bt import bt_application
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.sp import sp_application
+
+
+@pytest.fixture(scope="module")
+def history():
+    """Shared history so offline tuning runs once per experiment key."""
+    return HistoryStore()
+
+
+def run_trio(app, spec, cap_w, history, repeats=1):
+    setup = ExperimentSetup(
+        spec=spec, cap_w=cap_w, repeats=repeats, noise_sigma=0.005
+    )
+    return (
+        run_default(app, setup),
+        run_arcs_online(app, setup),
+        run_arcs_offline(app, setup, history=history),
+    )
+
+
+def gain(base, other):
+    return 100.0 * (base.time_s - other.time_s) / base.time_s
+
+
+def energy_gain(base, other):
+    return 100.0 * (base.energy_j - other.energy_j) / base.energy_j
+
+
+# ---------------------------------------------------------------------------
+# SP - the paper's showcase (Section V-A)
+# ---------------------------------------------------------------------------
+class TestSPOnCrill:
+    @pytest.fixture(scope="class")
+    def trio(self, history):
+        return run_trio(sp_application("B"), crill(), None, history)
+
+    def test_offline_improves_time_substantially(self, trio):
+        base, _online, offline = trio
+        # paper: 26-40% across power levels
+        assert 15.0 < gain(base, offline) < 50.0
+
+    def test_offline_improves_energy_substantially(self, trio):
+        base, _online, offline = trio
+        # paper: up to ~40% energy
+        assert 15.0 < energy_gain(base, offline) < 50.0
+
+    def test_online_also_improves(self, trio):
+        base, online, _offline = trio
+        assert gain(base, online) > 8.0
+
+    def test_offline_at_least_as_good_as_online(self, trio):
+        _base, online, offline = trio
+        assert offline.time_s <= online.time_s * 1.02
+
+    def test_chosen_configs_differ_from_default(self, trio):
+        _base, _online, offline = trio
+        configs = offline.chosen_configs
+        majors = ("compute_rhs", "x_solve", "y_solve", "z_solve")
+        non_default = [
+            name
+            for name in majors
+            if configs[name].label() != "32, static, default"
+        ]
+        assert len(non_default) == 4
+
+    def test_some_region_uses_fewer_threads(self, trio):
+        """Table II: tuned thread counts drop below the maximum."""
+        _base, _online, offline = trio
+        assert any(
+            cfg.n_threads < 32
+            for cfg in offline.chosen_configs.values()
+        )
+
+    def test_improvement_persists_under_cap(self, history):
+        base, _online, offline = run_trio(
+            sp_application("B"), crill(), 55.0, history
+        )
+        assert gain(base, offline) > 10.0
+
+    def test_optimal_configs_change_across_caps(self, history):
+        """Section II: the best configuration is cap-dependent."""
+        _b1, _o1, off_tdp = run_trio(
+            sp_application("B"), crill(), None, history
+        )
+        _b2, _o2, off_55 = run_trio(
+            sp_application("B"), crill(), 55.0, history
+        )
+        assert off_tdp.chosen_configs != off_55.chosen_configs
+
+
+class TestSPOnMinotaur:
+    def test_offline_large_improvement(self, history):
+        """Paper: 37% on POWER8."""
+        base, _online, offline = run_trio(
+            sp_application("B"), minotaur(), None, history
+        )
+        assert 25.0 < gain(base, offline) < 55.0
+
+
+# ---------------------------------------------------------------------------
+# BT - little headroom (Section V-B)
+# ---------------------------------------------------------------------------
+class TestBTOnCrill:
+    @pytest.fixture(scope="class")
+    def trio(self, history):
+        return run_trio(bt_application("B"), crill(), None, history)
+
+    def test_offline_gain_is_small(self, trio):
+        base, _online, offline = trio
+        # paper: at most ~3%, sometimes negative
+        assert -4.0 < gain(base, offline) < 8.0
+
+    def test_online_can_be_worse_than_default(self, trio):
+        base, online, _offline = trio
+        # "In some cases ARCS actually performs worse than the default"
+        assert gain(base, online) < 3.0
+
+    def test_bt_gains_much_smaller_than_sp(self, trio, history):
+        base_bt, _on, off_bt = trio
+        base_sp, _on2, off_sp = run_trio(
+            sp_application("B"), crill(), None, history
+        )
+        assert gain(base_sp, off_sp) > gain(base_bt, off_bt) + 10.0
+
+
+class TestBTOnMinotaur:
+    def test_only_modest_offline_gain(self, history):
+        """Paper: only Offline achieved ~8% on POWER8."""
+        base, online, offline = run_trio(
+            bt_application("B"), minotaur(), None, history
+        )
+        assert 2.0 < gain(base, offline) < 20.0
+        assert gain(base, online) < gain(base, offline)
+
+
+# ---------------------------------------------------------------------------
+# LULESH - tiny regions defeat Online on Crill (Section V-C)
+# ---------------------------------------------------------------------------
+class TestLULESHOnCrill:
+    @pytest.fixture(scope="class")
+    def trio(self, history):
+        return run_trio(lulesh_application(45), crill(), None, history)
+
+    def test_online_degrades(self, trio):
+        """'with ARCS-Online we observed a degradation ... for every
+        power level' (Crill)."""
+        base, online, _offline = trio
+        assert gain(base, online) < 0.5
+
+    def test_offline_roughly_neutral_time(self, trio):
+        base, _online, offline = trio
+        assert -5.0 < gain(base, offline) < 8.0
+
+    def test_offline_still_saves_energy(self, trio):
+        base, _online, offline = trio
+        assert energy_gain(base, offline) > 0.0
+
+    def test_overhead_dominated_by_config_changes(self, trio):
+        _base, online, _offline = trio
+        overhead = online.overhead
+        assert overhead is not None
+        assert overhead.config_change_s > 0
+
+
+class TestLULESHOnMinotaur:
+    def test_offline_wins_online_modest(self, history):
+        """Paper: ~14% offline, ~4% online on POWER8."""
+        base, online, offline = run_trio(
+            lulesh_application(45), minotaur(), None, history
+        )
+        assert 4.0 < gain(base, offline) < 25.0
+        assert gain(base, online) < gain(base, offline)

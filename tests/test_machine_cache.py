@@ -1,0 +1,160 @@
+"""Tests for the analytic cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheModel, MemoryProfile
+from repro.machine.spec import crill
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def model():
+    return CacheModel(crill().cache)
+
+
+def profile(**kw):
+    defaults = dict(
+        bytes_per_iter=4096.0,
+        stride_bytes=8.0,
+        footprint_bytes=32 * MIB,
+        reuse_fraction=0.6,
+    )
+    defaults.update(kw)
+    return MemoryProfile(**defaults)
+
+
+class TestMemoryProfileValidation:
+    def test_valid(self):
+        profile()
+
+    def test_bad_reuse(self):
+        with pytest.raises(ValueError):
+            profile(reuse_fraction=1.0)
+
+    def test_bad_bytes(self):
+        with pytest.raises(ValueError):
+            profile(bytes_per_iter=0.0)
+
+    def test_default_neighbourhood(self):
+        p = profile(reuse_window_bytes=None)
+        assert p.neighbourhood_bytes == pytest.approx(
+            4 * p.bytes_per_iter
+        )
+
+    def test_explicit_neighbourhood(self):
+        p = profile(reuse_window_bytes=1e6)
+        assert p.neighbourhood_bytes == 1e6
+
+
+class TestMissRateStructure:
+    def test_rates_hierarchical(self, model):
+        t = model.predict(profile(), 256, 8, 16, 16.0)
+        assert 0.0 <= t.l3_miss_rate <= t.l2_miss_rate <= t.l1_miss_rate
+        assert t.l1_miss_rate <= 1.0
+
+    def test_unit_stride_low_l1(self, model):
+        t = model.predict(profile(stride_bytes=8.0), 256, 8, 16, 16.0)
+        assert t.l1_miss_rate < 0.3
+
+    def test_long_stride_misses_every_access(self, model):
+        t = model.predict(
+            profile(stride_bytes=8192.0, reuse_fraction=0.0),
+            256, 8, 16, 16.0,
+        )
+        assert t.l1_miss_rate > 0.9
+
+    def test_stall_increases_with_stride(self, model):
+        short = model.predict(profile(stride_bytes=8.0), 256, 8, 16, 16.0)
+        long = model.predict(
+            profile(stride_bytes=4096.0), 256, 8, 16, 16.0
+        )
+        assert long.stall_ns_per_access > short.stall_ns_per_access
+
+    def test_dram_traffic_consistent_with_l3(self, model):
+        t = model.predict(profile(), 256, 8, 16, 16.0)
+        expected = (
+            t.l3_miss_rate * t.accesses_per_iter * crill().cache.line_bytes
+        )
+        assert t.dram_bytes_per_iter == pytest.approx(expected)
+
+
+class TestSharedL3Mechanism:
+    """The paper's Section V-A mechanism: thread count and scheduling
+    quantum shape shared-L3 behaviour."""
+
+    def test_more_threads_more_l3_pressure(self, model):
+        p = profile(footprint_bytes=40 * MIB, reuse_window_bytes=2 * MIB,
+                    reuse_fraction=0.8)
+        few = model.predict(p, 100, 4, 8, 100 / 8)
+        many = model.predict(p, 100, 16, 32, 100 / 32)
+        # compare the *local* L3 miss ratio (misses-of-L2-misses): the
+        # global rate also reflects L1/L2 shifts with team size
+        assert (
+            many.l3_miss_rate / many.l2_miss_rate
+            > few.l3_miss_rate / few.l2_miss_rate
+        )
+
+    def test_small_chunks_cluster_fronts(self, model):
+        """Default static (chunk = N/threads) spreads fronts; chunk-1
+        dynamic clusters them, improving L3 reuse."""
+        p = profile(footprint_bytes=40 * MIB, reuse_window_bytes=2 * MIB,
+                    reuse_fraction=0.8)
+        spread = model.predict(p, 100, 16, 32, 100 / 32)
+        clustered = model.predict(p, 100, 16, 32, 1.0)
+        assert clustered.l3_miss_rate < spread.l3_miss_rate
+
+    def test_smt_sharing_raises_l1_misses(self, model):
+        p = profile()
+        solo = model.predict(p, 256, 8, 16, 16.0, smt_share=1.0)
+        shared = model.predict(p, 256, 16, 32, 16.0, smt_share=2.0)
+        assert shared.l1_miss_rate > solo.l1_miss_rate
+
+    def test_tiny_footprint_always_cache_friendly(self, model):
+        p = profile(
+            footprint_bytes=0.5 * MIB,
+            reuse_window_bytes=0.1 * MIB,
+            reuse_fraction=0.8,
+        )
+        t = model.predict(p, 1000, 16, 32, 1000 / 32)
+        assert t.l3_miss_rate < 0.2
+
+
+class TestUncoreScale:
+    def test_uncore_scale_inflates_stall(self, model):
+        p = profile()
+        base = model.predict(p, 256, 8, 16, 16.0, uncore_scale=1.0)
+        capped = model.predict(p, 256, 8, 16, 16.0, uncore_scale=1.5)
+        assert capped.stall_ns_per_access > base.stall_ns_per_access
+
+
+class TestArgumentValidation:
+    def test_rejects_bad_iterations(self, model):
+        with pytest.raises(ValueError):
+            model.predict(profile(), 0, 8, 16, 16.0)
+
+    def test_rejects_bad_threads(self, model):
+        with pytest.raises(ValueError):
+            model.predict(profile(), 256, 0, 16, 16.0)
+
+    def test_rejects_bad_chunk(self, model):
+        with pytest.raises(ValueError):
+            model.predict(profile(), 256, 8, 16, 0.0)
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=16),
+    chunk=st.floats(min_value=1.0, max_value=128.0),
+    stride=st.floats(min_value=8.0, max_value=16384.0),
+    reuse=st.floats(min_value=0.0, max_value=0.95),
+)
+def test_rates_always_valid(threads, chunk, stride, reuse):
+    model = CacheModel(crill().cache)
+    p = profile(stride_bytes=stride, reuse_fraction=reuse)
+    t = model.predict(p, 1024, threads, threads * 2, chunk)
+    assert 0.0 <= t.l3_miss_rate <= t.l2_miss_rate <= t.l1_miss_rate <= 1.0
+    assert t.stall_ns_per_access >= 0.0
+    assert t.dram_bytes_per_iter >= 0.0

@@ -1,0 +1,98 @@
+"""Tests for the DVFS power-cap -> frequency solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.frequency import FrequencyModel
+from repro.machine.spec import crill
+
+
+@pytest.fixture
+def freq():
+    return FrequencyModel(crill())
+
+
+class TestFrequencySolver:
+    def test_uncapped_turbo_with_few_cores(self, freq):
+        f = freq.frequency_for_cap(None, n_active=1)
+        assert f == pytest.approx(crill().turbo_freq_ghz)
+
+    def test_uncapped_full_package_at_base(self, freq):
+        f = freq.frequency_for_cap(None, n_active=8)
+        assert f == pytest.approx(crill().base_freq_ghz, rel=0.02)
+
+    def test_deep_cap_clamps_to_floor(self, freq):
+        f = freq.frequency_for_cap(30.0, n_active=8)
+        assert f == pytest.approx(crill().min_freq_ghz)
+
+    def test_cap_respected(self, freq):
+        spec = crill()
+        for cap in (55.0, 70.0, 85.0, 100.0):
+            f = freq.frequency_for_cap(cap, n_active=8)
+            if f > spec.min_freq_ghz:
+                draw = freq.power.package_power_w(f, n_active=8)
+                assert draw <= cap * 1.001
+
+    def test_monotone_in_cap(self, freq):
+        fs = [
+            freq.frequency_for_cap(cap, n_active=8)
+            for cap in (55.0, 70.0, 85.0, 100.0, 115.0)
+        ]
+        assert all(b >= a for a, b in zip(fs, fs[1:]))
+
+    def test_fewer_cores_run_faster_under_cap(self, freq):
+        """The paper's central mechanic (Figure 1): under a tight cap a
+        smaller team sustains a higher frequency."""
+        f8 = freq.frequency_for_cap(55.0, n_active=8)
+        f4 = freq.frequency_for_cap(55.0, n_active=4)
+        f1 = freq.frequency_for_cap(55.0, n_active=1)
+        assert f1 > f4 > f8
+
+    def test_invalid_args_rejected(self, freq):
+        with pytest.raises(ValueError):
+            freq.frequency_for_cap(55.0, n_active=0)
+        with pytest.raises(ValueError):
+            freq.frequency_for_cap(55.0, n_active=8, n_spin=1)
+        with pytest.raises(ValueError):
+            freq.frequency_for_cap(-5.0, n_active=1)
+
+    def test_solution_cached(self, freq):
+        assert freq.frequency_for_cap(70.0, 8) == freq.frequency_for_cap(
+            70.0, 8
+        )
+
+
+class TestUncoreScale:
+    def test_no_slowdown_at_base(self, freq):
+        assert freq.uncore_scale(crill().base_freq_ghz) == pytest.approx(
+            1.0
+        )
+
+    def test_slowdown_under_cap(self, freq):
+        assert freq.uncore_scale(1.2) > 1.0
+
+    def test_no_speedup_at_turbo(self, freq):
+        assert freq.uncore_scale(3.1) == pytest.approx(1.0)
+
+
+@given(
+    st.floats(min_value=40.0, max_value=115.0),
+    st.integers(min_value=1, max_value=8),
+)
+def test_frequency_always_in_range(cap, n_active):
+    freq = FrequencyModel(crill())
+    f = freq.frequency_for_cap(cap, n_active=n_active)
+    assert crill().min_freq_ghz <= f <= crill().turbo_freq_ghz
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_frequency_monotone_in_active_cores(n):
+    """More active cores can never raise the sustainable frequency."""
+    freq = FrequencyModel(crill())
+    if n < 8:
+        f_n = freq.frequency_for_cap(70.0, n_active=n)
+        f_n1 = freq.frequency_for_cap(70.0, n_active=n + 1)
+        assert f_n1 <= f_n + 1e-9

@@ -1,0 +1,64 @@
+"""Tests for the DRAM bandwidth/queueing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.memory import MemoryModel
+from repro.machine.spec import crill, minotaur
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(crill())
+
+
+class TestEffectiveBandwidth:
+    def test_full_bw_at_few_streams(self, mem):
+        bw = mem.effective_bandwidth(2, crill().base_freq_ghz)
+        assert bw == pytest.approx(crill().mem_bw_bytes_per_s)
+
+    def test_stream_contention_reduces_bw(self, mem):
+        few = mem.effective_bandwidth(4, 2.4)
+        many = mem.effective_bandwidth(16, 2.4)
+        assert many < few
+
+    def test_frequency_droop(self, mem):
+        assert mem.effective_bandwidth(2, 1.2) < mem.effective_bandwidth(
+            2, 2.4
+        )
+
+    def test_minotaur_tolerates_more_streams(self):
+        """POWER8's buffered memory handles concurrency much better
+        (its spec has a lower stream penalty)."""
+        c = MemoryModel(crill())
+        m = MemoryModel(minotaur())
+        c_ratio = c.effective_bandwidth(40, 2.4) / c.effective_bandwidth(
+            2, 2.4
+        )
+        m_ratio = m.effective_bandwidth(40, 2.92) / m.effective_bandwidth(
+            2, 2.92
+        )
+        assert m_ratio > c_ratio
+
+
+class TestContentionMultiplier:
+    def test_idle_bus_no_inflation(self, mem):
+        assert mem.contention_multiplier(0.0, 2.4, 1) == pytest.approx(1.0)
+
+    def test_saturated_bus_large_inflation(self, mem):
+        mult = mem.contention_multiplier(1e12, 2.4, 16)
+        assert mult > 10.0
+
+    def test_multiplier_bounded(self, mem):
+        mult = mem.contention_multiplier(1e15, 2.4, 16)
+        assert mult <= 1.0 / (1.0 - 0.95) + 1e-9
+
+    def test_monotone_in_traffic(self, mem):
+        rates = [1e9, 1e10, 3e10, 5e10]
+        mults = [mem.contention_multiplier(r, 2.4, 8) for r in rates]
+        assert all(b >= a for a, b in zip(mults, mults[1:]))
+
+    def test_negative_traffic_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.contention_multiplier(-1.0, 2.4, 1)

@@ -1,0 +1,73 @@
+"""Tests for the SimulatedNode facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill, minotaur
+
+
+class TestClock:
+    def test_starts_at_zero(self, crill_node):
+        assert crill_node.now_s == 0.0
+
+    def test_advance(self, crill_node):
+        crill_node.advance(1.5)
+        crill_node.advance(0.5)
+        assert crill_node.now_s == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self, crill_node):
+        with pytest.raises(ValueError):
+            crill_node.advance(-0.1)
+
+
+class TestPowerControl:
+    def test_cap_applies_after_settle(self, crill_node):
+        crill_node.set_power_cap(70.0)
+        assert crill_node.effective_cap_w() is None
+        crill_node.settle_after_cap()
+        assert crill_node.effective_cap_w() == 70.0
+
+    def test_frequency_for_team_respects_cap(self, crill_node):
+        placement = crill_node.topology.place(32)
+        f_before = crill_node.frequency_for_team(placement)
+        crill_node.set_power_cap(55.0)
+        crill_node.settle_after_cap()
+        f_after = crill_node.frequency_for_team(placement)
+        assert all(a < b for a, b in zip(f_after, f_before))
+
+    def test_minotaur_rejects_cap(self, minotaur_node):
+        with pytest.raises(PermissionError):
+            minotaur_node.set_power_cap(100.0)
+
+    def test_power_view_snapshot(self, crill_node):
+        view = crill_node.power_view(8)
+        assert view.caps_w == (None, None)
+        assert len(view.frequencies_ghz) == 2
+
+
+class TestEnergyAccounting:
+    def test_deposits_accumulate(self, crill_node):
+        crill_node.advance(0.01)
+        crill_node.deposit_energy(0, 3.0)
+        crill_node.deposit_energy(1, 2.0)
+        assert crill_node.read_package_energy_j() == pytest.approx(
+            5.0, abs=0.01
+        )
+
+    def test_reset_clears_everything(self, crill_node):
+        crill_node.advance(1.0)
+        crill_node.deposit_energy(0, 5.0)
+        crill_node.set_power_cap(55.0)
+        crill_node.reset()
+        assert crill_node.now_s == 0.0
+        assert crill_node.read_package_energy_j() == 0.0
+        assert crill_node.effective_cap_w() is None
+
+
+class TestModelWiring:
+    def test_machine_specific_smt_conflicts_wired(self):
+        c = SimulatedNode(crill())
+        m = SimulatedNode(minotaur())
+        assert c.cache.smt_conflict_l1 > m.cache.smt_conflict_l1

@@ -1,0 +1,81 @@
+"""Tests for the package power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.power import IdleState, PowerModel
+from repro.machine.spec import crill
+
+
+@pytest.fixture
+def power():
+    return PowerModel(crill())
+
+
+class TestInstantaneousPower:
+    def test_full_package_at_base_is_tdp(self, power):
+        spec = crill()
+        draw = power.package_power_w(spec.base_freq_ghz, n_active=8)
+        # all other cores default to sleep, adding a little
+        assert draw == pytest.approx(spec.tdp_w, rel=0.01)
+
+    def test_cubic_in_frequency(self, power):
+        assert power.core_dynamic_w(2.0) == pytest.approx(
+            8 * power.core_dynamic_w(1.0)
+        )
+
+    def test_more_active_cores_more_power(self, power):
+        f = 2.4
+        draws = [
+            power.package_power_w(f, n_active=n) for n in range(1, 9)
+        ]
+        assert all(b > a for a, b in zip(draws, draws[1:]))
+
+    def test_spin_power_below_active(self, power):
+        f = 2.4
+        active = power.package_power_w(f, n_active=2)
+        spin = power.package_power_w(f, n_active=1, n_spin=1)
+        sleep = power.package_power_w(f, n_active=1, n_spin=0)
+        assert sleep < spin < active
+
+    def test_core_states_cannot_exceed_socket(self, power):
+        with pytest.raises(ValueError):
+            power.package_power_w(2.4, n_active=8, n_spin=1)
+
+    def test_negative_counts_rejected(self, power):
+        with pytest.raises(ValueError):
+            power.package_power_w(2.4, n_active=-1)
+
+    def test_uncore_scales_with_frequency(self, power):
+        assert power.uncore_w(2.4) > power.uncore_w(1.2)
+
+
+class TestIdleIntervals:
+    def test_short_wait_spins(self, power):
+        acc = power.idle_interval(10e-6, 2.4)
+        assert acc.state is IdleState.SPIN
+        assert acc.transition_s == 0.0
+
+    def test_long_wait_sleeps(self, power):
+        acc = power.idle_interval(10e-3, 2.4)
+        assert acc.state is IdleState.SLEEP
+        assert acc.transition_s > 0.0
+
+    def test_sleep_saves_energy_for_long_waits(self, power):
+        wait = 50e-3
+        sleeping = power.idle_interval(wait, 2.4).energy_j
+        spin_w = crill().idle_spin_fraction * power.core_dynamic_w(2.4)
+        assert sleeping < wait * spin_w
+
+    def test_zero_wait_zero_energy(self, power):
+        assert power.idle_interval(0.0, 2.4).energy_j == 0.0
+
+    def test_negative_wait_rejected(self, power):
+        with pytest.raises(ValueError):
+            power.idle_interval(-1.0, 2.4)
+
+    def test_energy_monotone_in_wait(self, power):
+        waits = [1e-6, 1e-4, 1e-3, 1e-2, 1e-1]
+        energies = [power.idle_interval(w, 2.4).energy_j for w in waits]
+        assert all(b >= a for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,121 @@
+"""Tests for machine specifications."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.machine.spec import (
+    CacheSpec,
+    MachineSpec,
+    crill,
+    machine_by_name,
+    minotaur,
+)
+
+
+class TestCrill:
+    def test_paper_topology(self, crill_spec):
+        # Section IV-A: 16 cores, 32 hyper-threaded threads
+        assert crill_spec.total_cores == 16
+        assert crill_spec.total_hw_threads == 32
+
+    def test_paper_tdp(self, crill_spec):
+        assert crill_spec.tdp_w == 115.0
+
+    def test_sandy_bridge_frequencies(self, crill_spec):
+        assert crill_spec.base_freq_ghz == pytest.approx(2.4)
+        assert crill_spec.min_freq_ghz < crill_spec.base_freq_ghz
+        assert crill_spec.turbo_freq_ghz > crill_spec.base_freq_ghz
+
+    def test_supports_capping_and_counters(self, crill_spec):
+        assert crill_spec.supports_power_cap
+        assert crill_spec.supports_energy_counters
+
+    def test_dynamic_coefficient_reproduces_tdp(self, crill_spec):
+        # full package at base frequency must draw exactly TDP
+        draw = (
+            crill_spec.static_power_w
+            + crill_spec.cache_power_w
+            + crill_spec.cores_per_socket
+            * crill_spec.core_dyn_coeff_w_per_ghz3
+            * crill_spec.base_freq_ghz**3
+        )
+        assert draw == pytest.approx(crill_spec.tdp_w)
+
+
+class TestMinotaur:
+    def test_paper_topology(self, minotaur_spec):
+        # Section IV-A: two 10-core POWER8, 160 hardware threads
+        assert minotaur_spec.total_cores == 20
+        assert minotaur_spec.smt_per_core == 8
+        assert minotaur_spec.total_hw_threads == 160
+
+    def test_power8_frequency(self, minotaur_spec):
+        assert minotaur_spec.base_freq_ghz == pytest.approx(2.92)
+
+    def test_no_capping_privilege(self, minotaur_spec):
+        assert not minotaur_spec.supports_power_cap
+        assert not minotaur_spec.supports_energy_counters
+
+
+class TestSmtThroughput:
+    def test_single_thread_is_unity(self, crill_spec):
+        assert crill_spec.smt_per_thread_throughput(1) == 1.0
+
+    def test_ht_sibling_below_unity(self, crill_spec):
+        assert crill_spec.smt_per_thread_throughput(2) < 1.0
+
+    def test_per_thread_decreasing(self, minotaur_spec):
+        values = [
+            minotaur_spec.smt_per_thread_throughput(s)
+            for s in range(1, 9)
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self, crill_spec):
+        with pytest.raises(ValueError):
+            crill_spec.smt_per_thread_throughput(3)
+        with pytest.raises(ValueError):
+            crill_spec.smt_per_thread_throughput(0)
+
+
+class TestValidationRules:
+    def test_frequency_ordering_enforced(self, crill_spec):
+        with pytest.raises(ValueError, match="frequencies"):
+            dataclasses.replace(crill_spec, min_freq_ghz=3.0)
+
+    def test_smt_table_arity_enforced(self, crill_spec):
+        with pytest.raises(ValueError, match="smt_throughput"):
+            dataclasses.replace(crill_spec, smt_throughput=(1.0,))
+
+    def test_smt_table_first_entry_must_be_one(self, crill_spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(crill_spec, smt_throughput=(0.9, 1.3))
+
+    def test_smt_table_monotone(self, crill_spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(crill_spec, smt_throughput=(1.0, 0.8))
+
+    def test_static_power_below_tdp(self, crill_spec):
+        with pytest.raises(ValueError, match="below TDP"):
+            dataclasses.replace(crill_spec, static_power_w=200.0)
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(l1_bytes=0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert machine_by_name("crill").name == "crill"
+        assert machine_by_name("MINOTAUR").name == "minotaur"
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            machine_by_name("summit")
+
+    def test_factories_return_fresh_objects(self):
+        assert crill() == crill()
+        assert minotaur() is not minotaur()

@@ -1,0 +1,98 @@
+"""Tests for thread placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.spec import crill, minotaur
+from repro.machine.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology(crill())
+
+
+class TestPlacementBasics:
+    def test_single_thread(self, topo):
+        p = topo.place(1)
+        assert p.n_threads == 1
+        assert p.slots[0].socket == 0
+        assert p.slots[0].smt_slot == 0
+
+    def test_out_of_range_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.place(0)
+        with pytest.raises(ValueError):
+            topo.place(33)
+
+    def test_all_threads_unique_slots(self, topo):
+        p = topo.place(32)
+        slots = {(s.socket, s.core, s.smt_slot) for s in p.slots}
+        assert len(slots) == 32
+
+    def test_thread_ids_sequential(self, topo):
+        p = topo.place(8)
+        assert [s.thread_id for s in p.slots] == list(range(8))
+
+
+class TestScatterPolicy:
+    def test_two_threads_split_across_sockets(self, topo):
+        p = topo.place(2)
+        assert {s.socket for s in p.slots} == {0, 1}
+
+    def test_physical_cores_before_smt(self, topo):
+        # 16 threads on 16 physical cores: no SMT sharing yet
+        p = topo.place(16)
+        assert all(s.smt_slot == 0 for s in p.slots)
+        assert p.active_cores_per_socket == (8, 8)
+
+    def test_smt_engaged_beyond_core_count(self, topo):
+        p = topo.place(17)
+        assert sum(1 for s in p.slots if s.smt_slot == 1) == 1
+        assert p.active_cores_per_socket == (8, 8)
+
+    def test_full_machine(self, topo):
+        p = topo.place(32)
+        assert p.active_cores_per_socket == (8, 8)
+        assert all(p.siblings_active(s) == 2 for s in p.slots)
+
+
+class TestThroughputFactors:
+    def test_no_smt_full_throughput(self, topo):
+        p = topo.place(16)
+        assert all(t == 1.0 for t in p.per_thread_throughput())
+
+    def test_smt_throughput_reduced(self, topo):
+        p = topo.place(32)
+        expected = crill().smt_per_thread_throughput(2)
+        assert all(
+            t == pytest.approx(expected)
+            for t in p.per_thread_throughput()
+        )
+
+    def test_minotaur_smt8(self):
+        topo = Topology(minotaur())
+        p = topo.place(160)
+        assert all(p.siblings_active(s) == 8 for s in p.slots)
+
+
+class TestCaching:
+    def test_same_placement_object_returned(self, topo):
+        assert topo.place(8) is topo.place(8)
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_threads_per_socket_sums_to_team(n):
+    p = Topology(crill()).place(n)
+    assert sum(p.threads_per_socket) == n
+
+
+@given(st.integers(min_value=1, max_value=160))
+def test_minotaur_socket_balance(n):
+    """Scatter placement keeps socket loads within one thread."""
+    p = Topology(minotaur()).place(n)
+    per = p.threads_per_socket
+    assert abs(per[0] - per[1]) <= 1

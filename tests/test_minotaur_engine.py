@@ -1,0 +1,96 @@
+"""Engine behaviour on the POWER8 machine (Minotaur) - SMT-8, no
+capping, 160 hardware threads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import minotaur
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.types import OMPConfig, ScheduleKind
+from tests.test_openmp_engine import make_region
+
+
+@pytest.fixture
+def engine(minotaur_node):
+    return ExecutionEngine(minotaur_node)
+
+
+class TestMinotaurExecution:
+    def test_full_smt8_team(self, engine):
+        rec = engine.execute(make_region(iterations=2000), OMPConfig(160))
+        assert rec.time_s > 0
+        assert len(rec.thread_busy_s) == 160
+
+    def test_team_larger_than_trip_count(self, engine):
+        """160 threads on a 100-iteration loop: most threads idle at
+        the barrier (the SP-on-Minotaur default pathology)."""
+        rec = engine.execute(
+            make_region(iterations=100),
+            OMPConfig(160, ScheduleKind.STATIC, None),
+        )
+        idle = sum(1 for t in rec.thread_busy_s if t == 0.0)
+        assert idle == 60
+        assert rec.barrier_fraction > 0.25
+
+    def test_oversized_team_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.execute(make_region(), OMPConfig(161))
+
+    def test_high_thread_count_jitter_creates_imbalance(self, engine):
+        """Section V-C: 160 threads 'causes a bit more load imbalance
+        in larger regions' - dynamic scheduling absorbs it."""
+        region = make_region(name="big", iterations=20_000, cpu_ns=5e4)
+        static = engine.execute(
+            region, OMPConfig(160, ScheduleKind.STATIC, None)
+        )
+        dynamic = engine.execute(
+            region, OMPConfig(160, ScheduleKind.DYNAMIC, 32)
+        )
+        assert static.barrier_fraction > 0.03
+        assert dynamic.barrier_fraction < static.barrier_fraction
+
+    def test_base_frequency_without_caps(self, engine):
+        rec = engine.execute(make_region(), OMPConfig(160))
+        assert all(
+            f <= minotaur().turbo_freq_ghz for f in rec.frequencies_ghz
+        )
+
+    def test_energy_still_modelled_internally(self, engine):
+        """The machine has no *counters*, but the physics still runs -
+        records carry energy even though RAPL reads are forbidden."""
+        rec = engine.execute(make_region(), OMPConfig(40))
+        assert rec.energy_j > 0
+        with pytest.raises(PermissionError):
+            engine.node.read_package_energy_j()
+
+    def test_smt_progression(self, engine):
+        """20 -> 160 threads: time falls but with diminishing returns
+        (SMT-8 throughput table)."""
+        region = make_region(
+            name="smt", iterations=32_000, cpu_ns=1e5, bytes_per_iter=64.0
+        )
+        t20 = engine.execute(region, OMPConfig(20)).time_s
+        t40 = engine.execute(region, OMPConfig(40)).time_s
+        t160 = engine.execute(region, OMPConfig(160)).time_s
+        assert t160 < t40 < t20
+        # speedup 20->40 exceeds 40->160 per doubling (diminishing)
+        assert (t20 / t40) > (t40 / t160) ** (1 / 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_threads=st.sampled_from([10, 20, 40, 80, 120, 160]),
+    schedule=st.sampled_from(list(ScheduleKind)),
+)
+def test_minotaur_records_valid(n_threads, schedule):
+    engine = ExecutionEngine(SimulatedNode(minotaur()))
+    rec = engine.execute(
+        make_region(iterations=5000), OMPConfig(n_threads, schedule, 8)
+    )
+    assert rec.time_s > 0
+    assert rec.energy_j > 0
+    assert 0 <= rec.l3_miss_rate <= 1

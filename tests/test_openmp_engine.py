@@ -1,0 +1,238 @@
+"""Tests for the region execution engine - the simulator's core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import MemoryProfile
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.util.units import MIB
+
+
+def make_region(
+    name="r",
+    iterations=128,
+    cpu_ns=2.0e5,
+    imbalance=None,
+    serial_ns=0.0,
+    **mem_kw,
+):
+    mem_defaults = dict(
+        bytes_per_iter=8192.0,
+        stride_bytes=8.0,
+        footprint_bytes=4 * MIB,
+        reuse_fraction=0.5,
+    )
+    mem_defaults.update(mem_kw)
+    return RegionProfile(
+        name=name,
+        iterations=iterations,
+        cpu_ns_per_iter=cpu_ns,
+        memory=MemoryProfile(**mem_defaults),
+        imbalance=imbalance or ImbalanceSpec(),
+        serial_ns=serial_ns,
+    )
+
+
+@pytest.fixture
+def engine(crill_node):
+    return ExecutionEngine(crill_node)
+
+
+class TestBasicExecution:
+    def test_produces_positive_time_and_energy(self, engine):
+        rec = engine.execute(make_region(), OMPConfig(8))
+        assert rec.time_s > 0
+        assert rec.energy_j > 0
+        assert rec.avg_power_w > 0
+
+    def test_advances_clock_and_counters(self, engine, crill_node):
+        rec = engine.execute(make_region(), OMPConfig(8))
+        assert crill_node.now_s == pytest.approx(rec.time_s)
+        assert crill_node.read_package_energy_j() == pytest.approx(
+            rec.energy_j, rel=0.01
+        )
+
+    def test_deterministic(self, crill_node):
+        e1 = ExecutionEngine(SimulatedNode(crill()))
+        e2 = ExecutionEngine(SimulatedNode(crill()))
+        r1 = e1.execute(make_region(), OMPConfig(8))
+        r2 = e2.execute(make_region(), OMPConfig(8))
+        assert r1 == r2
+
+    def test_memoized_within_engine(self, engine):
+        r1 = engine.execute(make_region(), OMPConfig(8))
+        r2 = engine.execute(make_region(), OMPConfig(8))
+        assert r1 is r2
+
+    def test_rejects_oversized_team(self, engine):
+        with pytest.raises(ValueError, match="hardware threads"):
+            engine.execute(make_region(), OMPConfig(64))
+
+    def test_thread_busy_matches_team(self, engine):
+        rec = engine.execute(make_region(), OMPConfig(12))
+        assert len(rec.thread_busy_s) == 12
+
+
+class TestParallelScaling:
+    def test_more_threads_faster_compute_bound(self, engine):
+        region = make_region(cpu_ns=1.0e6, bytes_per_iter=64.0)
+        times = [
+            engine.execute(region, OMPConfig(n)).time_s
+            for n in (1, 2, 4, 8)
+        ]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_speedup_bounded_by_team(self, engine):
+        region = make_region(cpu_ns=1.0e6, bytes_per_iter=64.0)
+        t1 = engine.execute(region, OMPConfig(1)).time_s
+        t8 = engine.execute(region, OMPConfig(8)).time_s
+        assert t1 / t8 <= 8.01
+
+    def test_serial_part_not_parallelized(self, engine):
+        region = make_region(serial_ns=5e6)
+        rec = engine.execute(region, OMPConfig(16))
+        assert rec.serial_time_s == pytest.approx(5e-3)
+        assert rec.time_s > 5e-3
+
+
+class TestLoadImbalance:
+    def test_imbalance_creates_barrier_wait(self, engine):
+        balanced = make_region(name="bal")
+        skewed = make_region(
+            name="skew",
+            imbalance=ImbalanceSpec(kind="linear", amplitude=0.8),
+        )
+        cfg = OMPConfig(8, ScheduleKind.STATIC, None)
+        rec_b = engine.execute(balanced, cfg)
+        rec_s = engine.execute(skewed, cfg)
+        assert rec_s.barrier_wait_total_s > rec_b.barrier_wait_total_s
+
+    def test_dynamic_heals_imbalance(self, engine):
+        region = make_region(
+            name="skewed",
+            iterations=512,
+            imbalance=ImbalanceSpec(kind="linear", amplitude=0.8),
+        )
+        static = engine.execute(
+            region, OMPConfig(8, ScheduleKind.STATIC, None)
+        )
+        dynamic = engine.execute(
+            region, OMPConfig(8, ScheduleKind.DYNAMIC, 4)
+        )
+        assert dynamic.time_s < static.time_s
+        assert dynamic.barrier_fraction < static.barrier_fraction
+
+    def test_guided_heals_imbalance(self, engine):
+        region = make_region(
+            name="skewed2",
+            iterations=512,
+            imbalance=ImbalanceSpec(kind="linear", amplitude=0.8),
+        )
+        static = engine.execute(
+            region, OMPConfig(8, ScheduleKind.STATIC, None)
+        )
+        guided = engine.execute(
+            region, OMPConfig(8, ScheduleKind.GUIDED, None)
+        )
+        assert guided.time_s < static.time_s
+
+    def test_serial_section_counts_as_barrier(self, engine):
+        """Master-only sections leave siblings waiting (Figure 9)."""
+        region = make_region(name="serialish", serial_ns=2e6)
+        rec = engine.execute(region, OMPConfig(8))
+        assert rec.barrier_wait_total_s >= 7 * 2e-3
+
+
+class TestDispatchCosts:
+    def test_tiny_chunks_cost_dispatch(self, engine):
+        region = make_region(name="dispatchy", iterations=2048,
+                             cpu_ns=2e3)
+        chunk1 = engine.execute(
+            region, OMPConfig(8, ScheduleKind.DYNAMIC, 1)
+        )
+        chunk64 = engine.execute(
+            region, OMPConfig(8, ScheduleKind.DYNAMIC, 64)
+        )
+        assert chunk1.dispatch_overhead_s > chunk64.dispatch_overhead_s
+
+    def test_static_has_no_dispatch_overhead(self, engine):
+        rec = engine.execute(
+            make_region(), OMPConfig(8, ScheduleKind.STATIC, 4)
+        )
+        assert rec.dispatch_overhead_s == 0.0
+
+
+class TestPowerCapsInEngine:
+    def test_cap_slows_execution(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        region = make_region(cpu_ns=1e6, bytes_per_iter=64.0)
+        uncapped = engine.execute(region, OMPConfig(32))
+        crill_node.set_power_cap(55.0)
+        crill_node.settle_after_cap()
+        capped = engine.execute(region, OMPConfig(32))
+        assert capped.time_s > uncapped.time_s
+        assert capped.frequencies_ghz[0] < uncapped.frequencies_ghz[0]
+
+    def test_cap_lowers_power(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        region = make_region(cpu_ns=1e6)
+        uncapped = engine.execute(region, OMPConfig(32))
+        crill_node.set_power_cap(55.0)
+        crill_node.settle_after_cap()
+        capped = engine.execute(region, OMPConfig(32))
+        assert capped.avg_power_w < uncapped.avg_power_w
+
+    def test_records_keyed_by_cap(self, crill_node):
+        """Memoization must not leak records across cap changes."""
+        engine = ExecutionEngine(crill_node)
+        region = make_region()
+        r1 = engine.execute(region, OMPConfig(8))
+        crill_node.set_power_cap(55.0)
+        crill_node.settle_after_cap()
+        r2 = engine.execute(region, OMPConfig(8))
+        assert r1.time_s != r2.time_s
+
+
+class TestEnergyAccounting:
+    def test_fewer_threads_lower_power(self, engine):
+        region = make_region(cpu_ns=1e6)
+        small = engine.execute(region, OMPConfig(4))
+        large = engine.execute(region, OMPConfig(32))
+        assert small.avg_power_w < large.avg_power_w
+
+    def test_energy_time_power_consistent(self, engine):
+        rec = engine.execute(make_region(), OMPConfig(8))
+        assert rec.energy_j == pytest.approx(
+            rec.avg_power_w * rec.time_s
+        )
+
+    def test_power_within_physical_bounds(self, engine):
+        rec = engine.execute(make_region(cpu_ns=1e6), OMPConfig(32))
+        # two packages, each at most TDP-ish (plus turbo headroom)
+        assert rec.avg_power_w < 2.5 * crill().tdp_w
+        assert rec.avg_power_w > crill().static_power_w
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_threads=st.integers(1, 32),
+    schedule=st.sampled_from(list(ScheduleKind)),
+    chunk=st.one_of(st.none(), st.sampled_from([1, 8, 64, 512])),
+)
+def test_any_config_valid_record(n_threads, schedule, chunk):
+    engine = ExecutionEngine(SimulatedNode(crill()))
+    rec = engine.execute(
+        make_region(iterations=300), OMPConfig(n_threads, schedule, chunk)
+    )
+    assert rec.time_s > 0
+    assert rec.energy_j > 0
+    assert rec.barrier_wait_total_s >= 0
+    assert 0 <= rec.l3_miss_rate <= rec.l2_miss_rate <= rec.l1_miss_rate
+    assert rec.loop_time_s <= rec.time_s

@@ -1,0 +1,83 @@
+"""Tests for the OMPT interface object and team cost constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openmp.barrier import TeamCosts
+from repro.openmp.ompt import OmptEvent, OmptInterface
+
+
+class TestOmptInterface:
+    def test_register_and_dispatch(self):
+        ompt = OmptInterface()
+        seen = []
+        ompt.register(OmptEvent.PARALLEL_BEGIN, seen.append)
+        ompt.dispatch(OmptEvent.PARALLEL_BEGIN, "payload")
+        assert seen == ["payload"]
+
+    def test_multiple_tools_coexist(self):
+        ompt = OmptInterface()
+        a, b = [], []
+        ompt.register(OmptEvent.PARALLEL_END, a.append)
+        ompt.register(OmptEvent.PARALLEL_END, b.append)
+        ompt.dispatch(OmptEvent.PARALLEL_END, 1)
+        assert a == b == [1]
+
+    def test_unregister(self):
+        ompt = OmptInterface()
+        seen = []
+        ompt.register(OmptEvent.WORK_LOOP, seen.append)
+        ompt.unregister(OmptEvent.WORK_LOOP, seen.append)
+        ompt.dispatch(OmptEvent.WORK_LOOP, 1)
+        assert seen == []
+
+    def test_unregister_unknown_rejected(self):
+        ompt = OmptInterface()
+        with pytest.raises(ValueError):
+            ompt.unregister(OmptEvent.WORK_LOOP, lambda p: None)
+
+    def test_has_tool(self):
+        ompt = OmptInterface()
+        assert not ompt.has_tool()
+        cb = lambda p: None  # noqa: E731
+        ompt.register(OmptEvent.IMPLICIT_TASK, cb)
+        assert ompt.has_tool()
+        ompt.unregister(OmptEvent.IMPLICIT_TASK, cb)
+        assert not ompt.has_tool()
+
+    def test_parallel_ids_monotone(self):
+        ompt = OmptInterface()
+        ids = [ompt.new_parallel_id() for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_non_callable_rejected(self):
+        ompt = OmptInterface()
+        with pytest.raises(TypeError):
+            ompt.register(OmptEvent.PARALLEL_BEGIN, "nope")  # type: ignore
+
+
+class TestTeamCosts:
+    def test_fork_grows_with_team(self):
+        costs = TeamCosts()
+        assert costs.fork_join_s(32) > costs.fork_join_s(2)
+
+    def test_fork_logarithmic(self):
+        costs = TeamCosts()
+        delta_small = costs.fork_join_s(4) - costs.fork_join_s(2)
+        delta_large = costs.fork_join_s(32) - costs.fork_join_s(16)
+        assert delta_small == pytest.approx(delta_large)
+
+    def test_single_thread_barrier_free(self):
+        assert TeamCosts().barrier_s(1) == 0.0
+
+    def test_single_thread_fork_cheap(self):
+        costs = TeamCosts()
+        assert costs.fork_join_s(1) < costs.fork_join_s(2)
+
+    def test_dispatch_constant(self):
+        assert TeamCosts().dispatch_s() == pytest.approx(0.35e-6)
+
+    def test_invalid_team_rejected(self):
+        with pytest.raises(ValueError):
+            TeamCosts().fork_join_s(0)

@@ -1,0 +1,108 @@
+"""Tests for region profiles and imbalance specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import MemoryProfile
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+
+
+def mem():
+    return MemoryProfile(bytes_per_iter=1024.0, footprint_bytes=1e6)
+
+
+class TestImbalanceSpec:
+    def test_none_kind_uniform(self):
+        w = ImbalanceSpec(kind="none").weights(100, "r")
+        assert (w == 1.0).all()
+
+    def test_zero_amplitude_uniform(self):
+        w = ImbalanceSpec(kind="linear", amplitude=0.0).weights(64, "r")
+        assert (w == 1.0).all()
+
+    def test_linear_ramp(self):
+        w = ImbalanceSpec(kind="linear", amplitude=0.5).weights(101, "r")
+        assert w[0] < w[-1]
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_sawtooth_periodic(self):
+        spec = ImbalanceSpec(kind="sawtooth", amplitude=0.4, period=8)
+        w = spec.weights(64, "r")
+        assert np.allclose(w[:8], w[8:16])
+
+    def test_step_heavy_fraction(self):
+        spec = ImbalanceSpec(
+            kind="step", amplitude=1.0, heavy_fraction=0.25
+        )
+        w = spec.weights(100, "r")
+        assert (w[:25] > w[50]).all()
+
+    def test_random_seeded_by_name(self):
+        spec = ImbalanceSpec(kind="random", amplitude=0.3)
+        assert (spec.weights(64, "a") == spec.weights(64, "a")).all()
+        assert (spec.weights(64, "a") != spec.weights(64, "b")).any()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ImbalanceSpec(kind="zigzag")
+
+    def test_step_requires_valid_fraction(self):
+        with pytest.raises(ValueError):
+            ImbalanceSpec(kind="step", amplitude=1.0, heavy_fraction=0.0)
+
+    @given(
+        kind=st.sampled_from(["none", "linear", "sawtooth", "step",
+                              "random"]),
+        amplitude=st.floats(0.0, 2.0),
+        n=st.integers(1, 500),
+    )
+    def test_weights_positive_mean_one(self, kind, amplitude, n):
+        kwargs = {"kind": kind, "amplitude": amplitude}
+        spec = ImbalanceSpec(**kwargs)
+        w = spec.weights(n, "prop")
+        assert (w > 0).all()
+        assert w.mean() == pytest.approx(1.0)
+
+
+class TestRegionProfile:
+    def test_valid(self):
+        r = RegionProfile(
+            name="r", iterations=100, cpu_ns_per_iter=1000.0, memory=mem()
+        )
+        assert r.ideal_serial_seconds() == pytest.approx(1e-4)
+
+    def test_serial_included_in_ideal(self):
+        r = RegionProfile(
+            name="r",
+            iterations=100,
+            cpu_ns_per_iter=1000.0,
+            memory=mem(),
+            serial_ns=5e4,
+        )
+        assert r.ideal_serial_seconds() == pytest.approx(1.5e-4)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RegionProfile(
+                name="", iterations=1, cpu_ns_per_iter=1.0, memory=mem()
+            )
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            RegionProfile(
+                name="r", iterations=0, cpu_ns_per_iter=1.0, memory=mem()
+            )
+
+    def test_iteration_weights_shape(self):
+        r = RegionProfile(
+            name="r",
+            iterations=64,
+            cpu_ns_per_iter=1.0,
+            memory=mem(),
+            imbalance=ImbalanceSpec(kind="random", amplitude=0.2),
+        )
+        assert r.iteration_weights().shape == (64,)

@@ -1,0 +1,166 @@
+"""Tests for OpenMP chunking semantics - these are specification rules,
+so they are tested exactly, including property-based coverage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.openmp.schedule import (
+    average_chunk_iters,
+    chunks_for,
+    fixed_chunks,
+    guided_chunks,
+    static_assignment,
+    static_default_chunks,
+)
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+def covers_exactly(chunks, n):
+    """Chunks partition [0, n) exactly once, in order."""
+    pos = 0
+    for c in chunks:
+        assert c.start == pos
+        assert c.size >= 1
+        pos = c.stop
+    assert pos == n
+
+
+class TestStaticDefault:
+    def test_even_split(self):
+        chunks = static_default_chunks(100, 4)
+        assert [c.size for c in chunks] == [25, 25, 25, 25]
+
+    def test_remainder_to_leading_threads(self):
+        chunks = static_default_chunks(10, 4)
+        assert [c.size for c in chunks] == [3, 3, 2, 2]
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_default_chunks(3, 8)
+        assert len(chunks) == 3
+        assert all(c.size == 1 for c in chunks)
+
+    def test_single_thread(self):
+        chunks = static_default_chunks(7, 1)
+        assert len(chunks) == 1
+        assert chunks[0].size == 7
+
+
+class TestFixedChunks:
+    def test_exact_division(self):
+        chunks = fixed_chunks(12, 4)
+        assert [c.size for c in chunks] == [4, 4, 4]
+
+    def test_trailing_partial_chunk(self):
+        chunks = fixed_chunks(10, 4)
+        assert [c.size for c in chunks] == [4, 4, 2]
+
+    def test_chunk_larger_than_space(self):
+        chunks = fixed_chunks(5, 100)
+        assert len(chunks) == 1 and chunks[0].size == 5
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            fixed_chunks(10, 0)
+
+
+class TestGuided:
+    def test_decreasing_sizes(self):
+        chunks = guided_chunks(1000, 4, 1)
+        sizes = [c.size for c in chunks]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_first_chunk_is_remaining_over_threads(self):
+        chunks = guided_chunks(1000, 4, 1)
+        assert chunks[0].size == 250
+
+    def test_min_chunk_respected(self):
+        chunks = guided_chunks(1000, 4, 16)
+        # all but the final chunk honour the floor
+        assert all(c.size >= 16 for c in chunks[:-1])
+
+    def test_min_chunk_one_terminates(self):
+        covers_exactly(guided_chunks(7, 3, 1), 7)
+
+
+class TestChunksFor:
+    def test_static_default(self):
+        cfg = OMPConfig(8, ScheduleKind.STATIC, None)
+        assert len(chunks_for(cfg, 100)) == 8
+
+    def test_static_chunked(self):
+        cfg = OMPConfig(8, ScheduleKind.STATIC, 10)
+        assert len(chunks_for(cfg, 100)) == 10
+
+    def test_dynamic_default_chunk_is_one(self):
+        cfg = OMPConfig(8, ScheduleKind.DYNAMIC, None)
+        assert len(chunks_for(cfg, 100)) == 100
+
+    def test_guided_uses_team_size(self):
+        cfg = OMPConfig(4, ScheduleKind.GUIDED, None)
+        assert chunks_for(cfg, 1000)[0].size == 250
+
+
+class TestStaticAssignment:
+    def test_block_for_default(self):
+        cfg = OMPConfig(4, ScheduleKind.STATIC, None)
+        chunks = chunks_for(cfg, 100)
+        assert static_assignment(cfg, chunks) == [0, 1, 2, 3]
+
+    def test_round_robin_for_chunked(self):
+        cfg = OMPConfig(3, ScheduleKind.STATIC, 10)
+        chunks = chunks_for(cfg, 100)
+        assert static_assignment(cfg, chunks) == [
+            0, 1, 2, 0, 1, 2, 0, 1, 2, 0,
+        ]
+
+    def test_rejects_dynamic(self):
+        cfg = OMPConfig(3, ScheduleKind.DYNAMIC, 1)
+        with pytest.raises(ValueError):
+            static_assignment(cfg, chunks_for(cfg, 10))
+
+
+class TestAverageChunk:
+    def test_static_default(self):
+        cfg = OMPConfig(8, ScheduleKind.STATIC, None)
+        assert average_chunk_iters(cfg, 100) == pytest.approx(12.5)
+
+    def test_dynamic_chunk(self):
+        cfg = OMPConfig(8, ScheduleKind.DYNAMIC, 4)
+        assert average_chunk_iters(cfg, 100) == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# property-based: every schedule partitions the iteration space exactly
+# ---------------------------------------------------------------------------
+schedule_strategy = st.sampled_from(list(ScheduleKind))
+chunk_strategy = st.one_of(st.none(), st.integers(1, 64))
+
+
+@given(
+    n=st.integers(1, 2000),
+    threads=st.integers(1, 64),
+    schedule=schedule_strategy,
+    chunk=chunk_strategy,
+)
+def test_every_schedule_partitions_exactly(n, threads, schedule, chunk):
+    cfg = OMPConfig(threads, schedule, chunk)
+    covers_exactly(chunks_for(cfg, n), n)
+
+
+@given(n=st.integers(1, 2000), threads=st.integers(1, 64))
+def test_static_default_at_most_threads_chunks(n, threads):
+    assert len(static_default_chunks(n, threads)) <= threads
+
+
+@given(
+    n=st.integers(1, 500),
+    threads=st.integers(1, 32),
+    chunk=st.integers(1, 50),
+)
+def test_round_robin_assignment_within_team(n, threads, chunk):
+    cfg = OMPConfig(threads, ScheduleKind.STATIC, chunk)
+    owners = static_assignment(cfg, chunks_for(cfg, n))
+    assert all(0 <= o < threads for o in owners)

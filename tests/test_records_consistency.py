@@ -1,0 +1,138 @@
+"""Cross-cutting consistency checks on execution records and the
+engine's internal accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.records import RegionExecutionRecord, RegionTotals
+from repro.openmp.types import OMPConfig, ScheduleKind
+from tests.test_openmp_engine import make_region
+
+
+class TestRecordInvariants:
+    @pytest.fixture
+    def record(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        return engine.execute(
+            make_region(iterations=300), OMPConfig(16)
+        )
+
+    def test_time_decomposition(self, record):
+        """Wall time = serial + fork/join + max thread + barrier slack;
+        the pieces must not exceed the whole."""
+        assert record.serial_time_s + record.loop_time_s <= (
+            record.time_s + 1e-12
+        )
+
+    def test_thread_busy_bounded_by_loop_time(self, record):
+        assert max(record.thread_busy_s) == pytest.approx(
+            record.loop_time_s
+        )
+
+    def test_barrier_max_bounded_by_total(self, record):
+        assert record.barrier_wait_max_s <= (
+            record.barrier_wait_total_s + 1e-12
+        )
+
+    def test_barrier_fraction_in_unit_range(self, record):
+        assert 0.0 <= record.barrier_fraction <= 1.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RegionExecutionRecord(
+                region_name="r",
+                config=OMPConfig(1),
+                time_s=-1.0,
+                loop_time_s=0.0,
+                serial_time_s=0.0,
+                fork_join_s=0.0,
+                barrier_wait_total_s=0.0,
+                barrier_wait_max_s=0.0,
+                thread_busy_s=(0.0,),
+                energy_j=0.0,
+                avg_power_w=0.0,
+                frequencies_ghz=(1.0,),
+                l1_miss_rate=0.0,
+                l2_miss_rate=0.0,
+                l3_miss_rate=0.0,
+                dram_bytes=0.0,
+                dispatch_overhead_s=0.0,
+            )
+
+    def test_region_totals_per_call(self):
+        totals = RegionTotals(
+            region_name="r", calls=4, implicit_task_s=2.0,
+            loop_s=1.5, barrier_s=0.2, energy_j=10.0,
+        )
+        assert totals.time_per_call_s == pytest.approx(0.5)
+
+    def test_region_totals_zero_calls(self):
+        totals = RegionTotals(
+            region_name="r", calls=0, implicit_task_s=0.0,
+            loop_s=0.0, barrier_s=0.0, energy_j=0.0,
+        )
+        assert totals.time_per_call_s == 0.0
+
+
+class TestEngineAccountingConsistency:
+    def test_clock_equals_sum_of_records(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        total = 0.0
+        for i in range(5):
+            rec = engine.execute(
+                make_region(name=f"r{i}"), OMPConfig(4 + i)
+            )
+            total += rec.time_s
+        assert crill_node.now_s == pytest.approx(total)
+
+    def test_counters_equal_sum_of_record_energy(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        total = 0.0
+        for i in range(5):
+            rec = engine.execute(
+                make_region(name=f"r{i}", cpu_ns=5e5), OMPConfig(8)
+            )
+            total += rec.energy_j
+        assert crill_node.read_package_energy_j() == pytest.approx(
+            total, rel=0.001
+        )
+
+    def test_dram_counters_match_records(self, crill_node):
+        engine = ExecutionEngine(crill_node)
+        rec = engine.execute(make_region(cpu_ns=5e5), OMPConfig(8))
+        assert crill_node.read_dram_energy_j() == pytest.approx(
+            rec.dram_energy_j, rel=0.01
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    threads=st.integers(1, 32),
+    chunk=st.sampled_from([None, 1, 16, 128]),
+    serial_us=st.floats(0, 500.0),
+)
+def test_work_conservation(threads, chunk, serial_us):
+    """Schedules redistribute work; they must not create or destroy it.
+    Total useful thread time is schedule-invariant up to dispatch
+    overhead and per-thread speed differences."""
+    engine = ExecutionEngine(SimulatedNode(crill()))
+    region = make_region(
+        iterations=500, serial_ns=serial_us * 1e3
+    )
+    static = engine.execute(
+        region, OMPConfig(threads, ScheduleKind.STATIC, chunk)
+    )
+    dynamic = engine.execute(
+        region, OMPConfig(threads, ScheduleKind.DYNAMIC, chunk or 1)
+    )
+    static_work = sum(static.thread_busy_s)
+    dynamic_work = sum(dynamic.thread_busy_s)
+    # dynamic adds dispatch overhead but the same iteration work; with
+    # jittered per-thread speeds a reassignment changes totals slightly
+    assert dynamic_work == pytest.approx(static_work, rel=0.15)

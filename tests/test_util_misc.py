@@ -1,0 +1,73 @@
+"""Tests for validation, units and table-formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_table
+from repro.util.units import GHZ, KIB, MIB, ghz, gib_per_s, ms, ns, us
+from repro.util.validation import (
+    require_in,
+    require_nonnegative,
+    require_positive,
+)
+
+
+class TestValidation:
+    def test_require_positive_passes(self):
+        assert require_positive("x", 1.5) == 1.5
+
+    def test_require_positive_zero_fails(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive("x", 0)
+
+    def test_require_nonnegative_zero_ok(self):
+        assert require_nonnegative("x", 0) == 0
+
+    def test_require_nonnegative_negative_fails(self):
+        with pytest.raises(ValueError):
+            require_nonnegative("x", -1)
+
+    def test_require_in(self):
+        assert require_in("x", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            require_in("x", "c", ("a", "b"))
+
+
+class TestUnits:
+    def test_binary_sizes(self):
+        assert KIB == 1024
+        assert MIB == 1024 * 1024
+
+    def test_time_conversions(self):
+        assert ms(1) == pytest.approx(1e-3)
+        assert us(1) == pytest.approx(1e-6)
+        assert ns(1) == pytest.approx(1e-9)
+
+    def test_frequency(self):
+        assert ghz(2.4) == pytest.approx(2.4 * GHZ)
+
+    def test_bandwidth(self):
+        assert gib_per_s(1) == pytest.approx(2**30)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(("a", "bb"), [("x", 1), ("yy", 22)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(("v",), [(1.23456789,)])
+        assert "1.235" in out
+
+    def test_row_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_wide_cells_expand_columns(self):
+        out = format_table(("h",), [("a-very-long-cell",)])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)

@@ -1,0 +1,86 @@
+"""Tests for the reporting-statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    geomean,
+    improvement_pct,
+    normalize,
+    summarize_runs,
+)
+
+
+class TestSummarizeRuns:
+    def test_mean_mode(self):
+        assert summarize_runs([1.0, 2.0, 3.0], "mean") == pytest.approx(2.0)
+
+    def test_min_mode(self):
+        assert summarize_runs([3.0, 1.0, 2.0], "min") == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert summarize_runs([5.0], "mean") == 5.0
+        assert summarize_runs([5.0], "min") == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([], "mean")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([1.0], "median")
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=10))
+    def test_min_leq_mean(self, values):
+        assert summarize_runs(values, "min") <= summarize_runs(
+            values, "mean"
+        ) + 1e-9
+
+
+class TestNormalize:
+    def test_normalizes_to_baseline(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], -1.0)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=8))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestImprovementPct:
+    def test_improvement(self):
+        assert improvement_pct(10.0, 6.0) == pytest.approx(40.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_pct(10.0, 12.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_pct(0.0, 1.0)

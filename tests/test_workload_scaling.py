@@ -1,0 +1,91 @@
+"""Workload-size generality: classes B vs C and meshes 45 vs 60.
+
+Section V-A: "the behavior of a region changes across different
+workloads ... the configurations of the regions from SP differed
+across workloads which also proves the claim we made in Section II."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_default,
+)
+from repro.machine.spec import crill
+from repro.workloads.bt import bt_application
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.sp import sp_application
+
+
+@pytest.fixture(scope="module")
+def history():
+    return HistoryStore()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(spec=crill(), repeats=1, noise_sigma=0.005)
+
+
+class TestSPAcrossWorkloads:
+    def test_class_c_improvement_persists(self, setup, history):
+        """Figure 5: up to 40%/42% improvement also on data set C."""
+        app = sp_application("C")
+        base = run_default(app, setup)
+        offline = run_arcs_offline(app, setup, history=history)
+        time_gain = 1 - offline.time_s / base.time_s
+        energy_gain = 1 - offline.energy_j / base.energy_j
+        assert time_gain > 0.15
+        assert energy_gain > 0.15
+
+    def test_configs_differ_across_workloads(self, setup, history):
+        """The optimal configuration is workload-dependent."""
+        off_b = run_arcs_offline(
+            sp_application("B"), setup, history=history
+        )
+        off_c = run_arcs_offline(
+            sp_application("C"), setup, history=history
+        )
+        assert off_b.chosen_configs != off_c.chosen_configs
+
+    def test_history_keys_distinguish_workloads(self, setup, history):
+        run_arcs_offline(sp_application("B"), setup, history=history)
+        run_arcs_offline(sp_application("C"), setup, history=history)
+        keys = history.keys()
+        assert any(k.endswith("|B") for k in keys)
+        assert any(k.endswith("|C") for k in keys)
+
+
+class TestBTClassC:
+    def test_headroom_grows_but_stays_below_sp(self, setup, history):
+        """Class C's 4x footprint makes BT's compute_rhs more
+        memory-bound (more tunable than at class B), but BT still
+        offers far less headroom than SP at the same class."""
+        bt = bt_application("C")
+        bt_base = run_default(bt, setup)
+        bt_off = run_arcs_offline(bt, setup, history=history)
+        bt_gain = 1 - bt_off.time_s / bt_base.time_s
+
+        sp = sp_application("C")
+        sp_base = run_default(sp, setup)
+        sp_off = run_arcs_offline(sp, setup, history=history)
+        sp_gain = 1 - sp_off.time_s / sp_base.time_s
+
+        assert -0.05 < bt_gain < 0.20
+        assert bt_gain < sp_gain
+
+
+class TestLULESHMesh60:
+    def test_online_still_degrades(self, history):
+        """The tiny-region overhead pathology persists at mesh 60."""
+        from repro.experiments.runner import run_arcs_online
+
+        setup = ExperimentSetup(spec=crill(), repeats=1)
+        app = lulesh_application(60)
+        base = run_default(app, setup)
+        online = run_arcs_online(app, setup)
+        assert online.time_s > base.time_s * 0.99

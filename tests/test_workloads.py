@@ -1,0 +1,237 @@
+"""Tests for the benchmark applications and their paper-mandated
+characteristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.runtime import OpenMPRuntime
+from repro.openmp.types import default_config
+from repro.workloads.base import Application, RegionCall, run_application
+from repro.workloads.bt import bt_application, bt_motivation_region
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.registry import application_by_name
+from repro.workloads.sp import sp_application
+from repro.workloads.synthetic import (
+    cache_hostile_region,
+    imbalanced_region,
+    synthetic_application,
+    tiny_region,
+)
+
+
+def default_records(app):
+    """Execute every region once with the default config; return
+    {name: record}."""
+    engine = ExecutionEngine(SimulatedNode(crill()))
+    cfg = default_config(32)
+    return {
+        rc.region.name: engine.execute(rc.region, cfg)
+        for rc in app.step_sequence
+    }
+
+
+class TestSPCharacterization:
+    """Section V-A: SP has 13 loop regions; ~75% of time in four."""
+
+    def test_thirteen_regions(self):
+        assert len(sp_application("B").step_sequence) == 13
+
+    def test_major_four_dominate(self):
+        app = sp_application("B")
+        records = default_records(app)
+        major = sum(
+            records[n].time_s
+            for n in ("compute_rhs", "x_solve", "y_solve", "z_solve")
+        )
+        total = sum(r.time_s for r in records.values())
+        assert 0.65 <= major / total <= 0.9
+
+    def test_solvers_poor_cache(self):
+        """y/z solvers stride by rows/planes -> terrible L1 behaviour."""
+        records = default_records(sp_application("B"))
+        assert records["y_solve"].l1_miss_rate > 0.9
+        assert records["z_solve"].l1_miss_rate > 0.9
+
+    def test_compute_rhs_poor_balance(self):
+        records = default_records(sp_application("B"))
+        assert (
+            records["compute_rhs"].barrier_fraction
+            > records["x_solve"].barrier_fraction
+        )
+
+    def test_class_c_is_larger(self):
+        b = default_records(sp_application("B"))
+        c = default_records(sp_application("C"))
+        assert c["x_solve"].time_s > 2 * b["x_solve"].time_s
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            sp_application("D")
+
+
+class TestBTCharacterization:
+    """Section V-B: BT is well balanced with good cache behaviour,
+    except compute_rhs (long-stride rhsz stencil)."""
+
+    def test_twelve_regions(self):
+        assert len(bt_application("B").step_sequence) == 12
+
+    def test_solvers_well_behaved(self):
+        records = default_records(bt_application("B"))
+        for name in ("x_solve", "y_solve", "z_solve"):
+            assert records[name].barrier_fraction < 0.10
+            assert records[name].l3_miss_rate < 0.2
+
+    def test_compute_rhs_long_stride(self):
+        records = default_records(bt_application("B"))
+        assert records["compute_rhs"].l1_miss_rate > 0.9
+
+    def test_motivation_region_distinct(self):
+        region = bt_motivation_region("B")
+        assert region.name == "bt_x_solve_motivation"
+        assert region.imbalance.amplitude > 0.1
+
+
+class TestLULESHCharacterization:
+    """Section V-C: tiny EOS/pressure regions with per-call times
+    comparable to the 0.8 ms configuration-change overhead."""
+
+    def test_nine_regions(self):
+        assert len(lulesh_application(45).step_sequence) == 9
+
+    def test_eval_eos_per_call_time(self):
+        records = default_records(lulesh_application(45))
+        per_call = records["EvalEOSForElems_"].time_s
+        assert 0.4e-3 < per_call < 1.5e-3
+
+    def test_calc_pressure_per_call_time(self):
+        records = default_records(lulesh_application(45))
+        per_call = records["CalcPressureForElems_"].time_s
+        assert 0.8e-3 < per_call < 2.5e-3
+
+    def test_tiny_regions_barrier_dominated(self):
+        """Figure 9: EvalEOS's inclusive time is mostly barrier."""
+        records = default_records(lulesh_application(45))
+        rec = records["EvalEOSForElems_"]
+        assert rec.barrier_fraction > 0.3
+
+    def test_big_regions_nearly_perfectly_balanced(self):
+        records = default_records(lulesh_application(45))
+        assert records["CalcKinematicsForElems_"].barrier_fraction < 0.05
+        assert (
+            records["CalcMonotonicQGradientsForElems_"].barrier_fraction
+            < 0.05
+        )
+
+    def test_eos_called_in_bursts(self):
+        app = lulesh_application(45)
+        calls = {
+            rc.region.name: rc.calls for rc in app.step_sequence
+        }
+        assert calls["EvalEOSForElems_"] == 48
+        assert calls["CalcPressureForElems_"] == 24
+
+    def test_mesh_60_larger(self):
+        r45 = default_records(lulesh_application(45))
+        r60 = default_records(lulesh_application(60))
+        assert (
+            r60["CalcKinematicsForElems_"].time_s
+            > 2 * r45["CalcKinematicsForElems_"].time_s
+        )
+
+    def test_invalid_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            lulesh_application(50)
+
+
+class TestApplicationModel:
+    def test_duplicate_region_names_rejected(self):
+        region = tiny_region()
+        with pytest.raises(ValueError, match="duplicate"):
+            Application(
+                name="x",
+                workload="w",
+                step_sequence=(
+                    RegionCall(region=region),
+                    RegionCall(region=region),
+                ),
+                timesteps=1,
+            )
+
+    def test_region_call_validation(self):
+        with pytest.raises(ValueError):
+            RegionCall(region=tiny_region(), calls=0)
+
+    def test_calls_per_step(self):
+        app = lulesh_application(45)
+        assert app.calls_per_step() == 7 + 48 + 24
+
+    def test_label(self):
+        assert sp_application("B").label == "sp.B"
+
+
+class TestRunApplication:
+    def test_accumulates_per_region_totals(self):
+        node = SimulatedNode(crill())
+        runtime = OpenMPRuntime(node, noise_sigma=0.0)
+        app = synthetic_application(timesteps=3)
+        result = run_application(app, runtime)
+        assert result.total_region_calls == 3 * app.calls_per_step()
+        for rc in app.step_sequence:
+            totals = result.region_totals[rc.region.name]
+            assert totals.calls == 3 * rc.calls
+            assert totals.implicit_task_s > 0
+
+    def test_wall_time_is_clock_delta(self):
+        node = SimulatedNode(crill())
+        runtime = OpenMPRuntime(node, noise_sigma=0.0)
+        app = synthetic_application(timesteps=2)
+        result = run_application(app, runtime)
+        assert result.time_s == pytest.approx(node.now_s)
+
+    def test_time_covers_region_totals(self):
+        node = SimulatedNode(crill())
+        runtime = OpenMPRuntime(node, noise_sigma=0.0)
+        result = run_application(synthetic_application(timesteps=2),
+                                 runtime)
+        region_sum = sum(
+            t.implicit_task_s for t in result.region_totals.values()
+        )
+        assert result.time_s == pytest.approx(region_sum, rel=1e-6)
+
+    def test_energy_measured_on_crill(self):
+        node = SimulatedNode(crill())
+        runtime = OpenMPRuntime(node, noise_sigma=0.0)
+        result = run_application(synthetic_application(timesteps=2),
+                                 runtime)
+        assert result.energy_j is not None and result.energy_j > 0
+
+    def test_energy_none_on_minotaur(self, minotaur_node):
+        runtime = OpenMPRuntime(minotaur_node, noise_sigma=0.0)
+        result = run_application(synthetic_application(timesteps=1),
+                                 runtime)
+        assert result.energy_j is None
+
+
+class TestSyntheticAndRegistry:
+    def test_imbalanced_region_kinds(self):
+        region = imbalanced_region(kind="sawtooth", amplitude=0.4)
+        assert region.imbalance.kind == "sawtooth"
+
+    def test_cache_hostile_profile(self):
+        region = cache_hostile_region(stride_bytes=4096.0)
+        assert region.memory.stride_bytes == 4096.0
+
+    def test_registry_lookup(self):
+        assert application_by_name("sp").label == "sp.B"
+        assert application_by_name("bt", "C").label == "bt.C"
+        assert application_by_name("lulesh", "60").label == "lulesh.60"
+        assert application_by_name("synthetic").name == "synthetic"
+
+    def test_registry_unknown(self):
+        with pytest.raises(ValueError):
+            application_by_name("miniFE")

@@ -1,0 +1,104 @@
+"""Calibration inspector: per-region configuration landscapes.
+
+Usage::
+
+    python tools/calibrate.py sp B crill          # region sweep at TDP
+    python tools/calibrate.py sp B crill 55       # at a 55 W cap
+    python tools/calibrate.py lulesh 45 minotaur
+
+For each region: default-config metrics, the best config in the Table I
+space, and the improvement - the raw material for matching the paper's
+shapes (who wins, by how much, where).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.config import config_from_point, search_space_for
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import machine_by_name
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.types import default_config
+from repro.workloads.registry import application_by_name
+
+
+def sweep_region(engine, space, region):
+    best = None
+    for indices in space.iter_indices():
+        cfg = config_from_point(space.decode(indices))
+        rec = engine._simulate(region, cfg)
+        if best is None or rec.time_s < best.time_s:
+            best = rec
+    return best
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "sp"
+    workload = sys.argv[2] if len(sys.argv) > 2 else "B"
+    machine = sys.argv[3] if len(sys.argv) > 3 else "crill"
+    cap = float(sys.argv[4]) if len(sys.argv) > 4 else None
+
+    spec = machine_by_name(machine)
+    node = SimulatedNode(spec)
+    if cap is not None:
+        node.set_power_cap(cap)
+        node.settle_after_cap()
+    engine = ExecutionEngine(node)
+    app = application_by_name(app_name, workload)
+    space = search_space_for(spec)
+    dflt = default_config(spec.total_hw_threads)
+
+    cap_label = "TDP" if cap is None else f"{cap:g}W"
+    print(f"== {app.label} on {spec.name} @ {cap_label} ==")
+    print(
+        f"{'region':34s} {'dflt ms':>8s} {'best ms':>8s} {'gain%':>6s} "
+        f"{'bestE%':>6s} {'best config':22s} "
+        f"{'dflt L3':>7s} {'best L3':>7s} {'dflt bar%':>9s} {'best bar%':>9s}"
+    )
+    app_d = app_b = 0.0
+    for rc in app.step_sequence:
+        region = rc.region
+        d = engine._simulate(region, dflt)
+        b = sweep_region(engine, space, region)
+        app_d += d.time_s * rc.calls
+        app_b += b.time_s * rc.calls
+        gain = 100 * (d.time_s - b.time_s) / d.time_s
+        egain = 100 * (d.energy_j - b.energy_j) / d.energy_j
+        print(
+            f"{region.name:34s} {d.time_s*1e3:8.3f} {b.time_s*1e3:8.3f} "
+            f"{gain:6.1f} {egain:6.1f} {b.config.label():22s} "
+            f"{d.l3_miss_rate:7.3f} {b.l3_miss_rate:7.3f} "
+            f"{100*d.barrier_fraction:9.1f} {100*b.barrier_fraction:9.1f}"
+        )
+    print(
+        f"app step time: default {app_d*1e3:.1f} ms, best-possible "
+        f"{app_b*1e3:.1f} ms ({100*(app_d-app_b)/app_d:.1f}% gain)"
+    )
+
+
+def grid(app_name="sp", workload="B", machine="crill", region_name="y_solve", cap=None):
+    """Thread x schedule grid for one region."""
+    from repro.openmp.types import OMPConfig, ScheduleKind
+    spec = machine_by_name(machine)
+    node = SimulatedNode(spec)
+    if cap is not None:
+        node.set_power_cap(cap); node.settle_after_cap()
+    engine = ExecutionEngine(node)
+    app = application_by_name(app_name, workload)
+    region = {r.region.name: r.region for r in app.step_sequence}[region_name]
+    threads = [2,4,8,16,24,32] if machine=="crill" else [10,20,40,80,120,160]
+    print(f"-- {region_name} ({app_name}.{workload}) on {machine} cap={cap} --")
+    print("cfg: time_ms  cpu/mem split  L1/L2/L3  barrier%  f(GHz)  E(J)")
+    for t in threads:
+        for sched, chunk in [(ScheduleKind.STATIC,None),(ScheduleKind.STATIC,32),(ScheduleKind.DYNAMIC,1),(ScheduleKind.DYNAMIC,8),(ScheduleKind.GUIDED,None)]:
+            cfg = OMPConfig(t, sched, chunk)
+            r = engine._simulate(region, cfg)
+            print(f"  {cfg.label():24s} {r.time_s*1e3:8.3f}  L1={r.l1_miss_rate:.3f} L2={r.l2_miss_rate:.3f} L3={r.l3_miss_rate:.3f} bar={100*r.barrier_fraction:5.1f}% f={r.frequencies_ghz[0]:.2f} E={r.energy_j:.3f}")
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "grid":
+        grid(*sys.argv[2:6],
+             cap=float(sys.argv[6]) if len(sys.argv) > 6 else None)
+    else:
+        main()
