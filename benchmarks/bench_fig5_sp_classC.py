@@ -4,9 +4,16 @@ from repro.experiments.figures import fig5_sp_class_c
 from repro.experiments.reporting import render_sweep
 
 
-def test_fig5(benchmark, save_result):
+def test_fig5(benchmark, save_result, sweep_workers, sweep_cache):
     sweep = benchmark.pedantic(
-        fig5_sp_class_c, kwargs={"repeats": 3}, rounds=1, iterations=1
+        fig5_sp_class_c,
+        kwargs={
+            "repeats": 3,
+            "workers": sweep_workers,
+            "cache": sweep_cache,
+        },
+        rounds=1,
+        iterations=1,
     )
     save_result(
         "fig5_sp_classC",

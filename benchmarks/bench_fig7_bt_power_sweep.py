@@ -5,9 +5,16 @@ from repro.experiments.figures import fig7_bt_power_sweep
 from repro.experiments.reporting import render_sweep
 
 
-def test_fig7(benchmark, save_result):
+def test_fig7(benchmark, save_result, sweep_workers, sweep_cache):
     sweep = benchmark.pedantic(
-        fig7_bt_power_sweep, kwargs={"repeats": 3}, rounds=1, iterations=1
+        fig7_bt_power_sweep,
+        kwargs={
+            "repeats": 3,
+            "workers": sweep_workers,
+            "cache": sweep_cache,
+        },
+        rounds=1,
+        iterations=1,
     )
     save_result(
         "fig7_bt_power_sweep",

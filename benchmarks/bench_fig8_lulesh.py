@@ -5,9 +5,16 @@ from repro.experiments.figures import fig8_lulesh
 from repro.experiments.reporting import render_sweep
 
 
-def test_fig8(benchmark, save_result):
+def test_fig8(benchmark, save_result, sweep_workers, sweep_cache):
     crill_sweep, minotaur_sweep = benchmark.pedantic(
-        fig8_lulesh, kwargs={"repeats": 3}, rounds=1, iterations=1
+        fig8_lulesh,
+        kwargs={
+            "repeats": 3,
+            "workers": sweep_workers,
+            "cache": sweep_cache,
+        },
+        rounds=1,
+        iterations=1,
     )
     save_result(
         "fig8_lulesh_crill",

@@ -3,13 +3,23 @@
 Each benchmark regenerates one of the paper's tables/figures, prints it
 and writes it under ``results/`` so the whole evaluation can be
 reassembled from one ``pytest benchmarks/ --benchmark-only`` run.
+
+The sweep benchmarks run on the parallel cached harness
+(:mod:`repro.experiments.parallel`); two environment variables tune it:
+
+* ``REPRO_BENCH_WORKERS=<n>``  - process-pool size (default 1, serial);
+* ``REPRO_BENCH_NO_CACHE=1``   - disable the ``results/.cache`` result
+  cache and recompute every cell.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
+
+from repro.experiments.cache import ExperimentCache
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -18,6 +28,18 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sweep_workers() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+@pytest.fixture(scope="session")
+def sweep_cache(results_dir) -> ExperimentCache | None:
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        return None
+    return ExperimentCache(results_dir / ".cache")
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,7 @@ import argparse
 from collections.abc import Sequence
 
 from repro.core.history import HistoryStore
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.experiments.figures import power_sweep
 from repro.experiments.reporting import render_sweep, render_table1
 from repro.experiments.runner import (
@@ -72,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workload", default=None)
     sweep.add_argument("--machine", default="crill")
     sweep.add_argument("--repeats", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; 1 = serial in-process (default)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell instead of using the result cache",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
     return parser
 
 
@@ -96,9 +110,15 @@ def _cmd_search_space(args: argparse.Namespace) -> str:
 def _cmd_run(args: argparse.Namespace) -> str:
     spec = machine_by_name(args.machine)
     app = application_by_name(args.app, args.workload)
-    setup = ExperimentSetup(
-        spec=spec, cap_w=args.cap, repeats=args.repeats, seed=args.seed
-    )
+    try:
+        setup = ExperimentSetup(
+            spec=spec, cap_w=args.cap, repeats=args.repeats,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        # e.g. --cap on a machine without capping privilege, or
+        # --repeats 0: refuse loudly instead of mis-reporting.
+        raise SystemExit(f"error: {exc}") from exc
     history = HistoryStore(args.history) if args.history else None
     result = run_strategy(args.strategy, app, setup, history=history)
     cap = "TDP" if args.cap is None else f"{args.cap:g}W"
@@ -132,10 +152,28 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         if spec.supports_power_cap
         else (spec.tdp_w,)
     )
-    sweep = power_sweep(app, spec, caps, repeats=args.repeats)
-    return render_sweep(
-        sweep, f"{app.label} on {spec.name}: strategy comparison"
+    if args.workers < 1:
+        raise SystemExit(
+            f"error: --workers must be >= 1, got {args.workers}"
+        )
+    cache = (
+        None if args.no_cache else ExperimentCache(args.cache_dir)
     )
+    sweep = power_sweep(
+        app, spec, caps, repeats=args.repeats, seed=args.seed,
+        workers=args.workers, cache=cache,
+    )
+    lines = [
+        render_sweep(
+            sweep, f"{app.label} on {spec.name}: strategy comparison"
+        )
+    ]
+    if cache is not None:
+        lines.append(
+            f"[cache] {cache.stats.hits} hit(s), "
+            f"{cache.stats.misses} miss(es) under {cache.root}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -35,6 +35,7 @@ class ARCS:
         history: HistoryStore | None = None,
         history_key: str | None = None,
         replay: bool = False,
+        strict_replay: bool = True,
         selective_threshold_s: float | None = None,
         cap_aware: bool = False,
         objective: str = "time",
@@ -60,6 +61,7 @@ class ARCS:
             space=space,
             max_evals=max_evals,
             replay=replay_configs,
+            strict_replay=strict_replay,
             selective_threshold_s=selective_threshold_s,
             cap_aware=cap_aware,
             objective=objective,

@@ -13,9 +13,27 @@ and its measured objective.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.openmp.types import OMPConfig, ScheduleKind
+
+
+class CorruptHistoryError(RuntimeError):
+    """A history file on disk exists but does not parse as a history.
+
+    Raised on load instead of a raw :class:`json.JSONDecodeError` so
+    the message names the offending path (a truncated file left behind
+    by a crash used to surface as an inscrutable decode error).
+    """
+
+    def __init__(self, path: Path, reason: str) -> None:
+        self.path = path
+        super().__init__(
+            f"corrupt ARCS history file {path}: {reason}; delete or "
+            "restore it to proceed"
+        )
 
 
 def _config_to_json(config: OMPConfig, value: float | None) -> dict:
@@ -49,7 +67,16 @@ class HistoryStore:
         self.path = None if path is None else Path(path)
         self._data: dict[str, dict[str, dict]] = {}
         if self.path is not None and self.path.exists():
-            self._data = json.loads(self.path.read_text())
+            try:
+                data = json.loads(self.path.read_text())
+            except json.JSONDecodeError as exc:
+                raise CorruptHistoryError(self.path, str(exc)) from exc
+            if not isinstance(data, dict):
+                raise CorruptHistoryError(
+                    self.path,
+                    f"expected a JSON object, got {type(data).__name__}",
+                )
+            self._data = data
 
     # ------------------------------------------------------------------
     def save(
@@ -91,9 +118,26 @@ class HistoryStore:
         return sorted(self._data)
 
     def _persist(self) -> None:
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(self._data, indent=2))
+        """Write atomically (temp file + ``os.replace``) so a crash —
+        or a parallel worker dying mid-write — never leaves a
+        half-written history behind."""
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self._data, indent=2)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
 
 def experiment_key(

@@ -51,6 +51,26 @@ from repro.util.rng import derive_seed
 OBJECTIVES = ("time", "energy", "edp")
 
 
+class MissingRegionConfigError(KeyError):
+    """Replay mode hit a region with no saved configuration.
+
+    A replayed run silently executing unknown regions with whatever
+    configuration happens to be current defeats the point of
+    ARCS-Offline's measured run; by default the policy now fails
+    loudly instead (opt out with ``strict_replay=False``)."""
+
+    def __init__(self, region: str, known: tuple[str, ...]) -> None:
+        self.region = region
+        self.known = known
+        super().__init__(
+            f"replay history has no configuration for region "
+            f"{region!r}; saved regions: {list(known) or 'none'}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0]
+
+
 @dataclass
 class RegionTuningState:
     """Bookkeeping the policy keeps per OpenMP region."""
@@ -75,6 +95,7 @@ class ArcsPolicy(Policy):
         space: SearchSpace | None = None,
         max_evals: int = 40,
         replay: dict[str, OMPConfig] | None = None,
+        strict_replay: bool = True,
         selective_threshold_s: float | None = None,
         cap_aware: bool = False,
         objective: str = "time",
@@ -97,6 +118,7 @@ class ArcsPolicy(Policy):
         self.space = space or search_space_for(runtime.node.spec)
         self.max_evals = max_evals
         self.replay = dict(replay) if replay is not None else None
+        self.strict_replay = strict_replay
         self.selective_threshold_s = selective_threshold_s
         #: Section II: "the resource manager may ... adjust [nodes']
         #: power level dynamically.  To get the best per node
@@ -134,8 +156,13 @@ class ArcsPolicy(Policy):
 
         if self.replay is not None:
             config = self.replay.get(context.timer_name)
-            if config is not None:
-                self._apply(state, config)
+            if config is None:
+                if self.strict_replay:
+                    raise MissingRegionConfigError(
+                        context.timer_name, tuple(sorted(self.replay))
+                    )
+                return
+            self._apply(state, config)
             return
 
         if state.skipped:

@@ -6,14 +6,29 @@ paper's repeat methodology (three runs; average on Crill, minimum on
 Minotaur).  :mod:`repro.experiments.figures` and
 :mod:`repro.experiments.tables` generate the data behind every figure
 and table in Section V; :mod:`repro.experiments.reporting` renders them
-as paper-style text tables.
+as paper-style text tables.  :mod:`repro.experiments.parallel` fans
+sweep cells out over a process pool and
+:mod:`repro.experiments.cache` memoizes their results on disk.
 """
 
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ExperimentCache,
+    experiment_digest,
+)
 from repro.experiments.metrics import improvement_pct, normalized_series
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    SweepTaskError,
+    run_sweep_task,
+)
 from repro.experiments.runner import (
     CRILL_POWER_LEVELS,
     ExperimentSetup,
     StrategyRunResult,
+    TuningDidNotConverge,
     fresh_runtime,
     run_arcs_offline,
     run_arcs_online,
@@ -22,9 +37,17 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "CRILL_POWER_LEVELS",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentCache",
     "ExperimentSetup",
+    "ParallelSweepExecutor",
     "StrategyRunResult",
+    "SweepTask",
+    "SweepTaskError",
+    "TuningDidNotConverge",
+    "experiment_digest",
     "fresh_runtime",
     "improvement_pct",
     "normalized_series",
@@ -32,4 +55,5 @@ __all__ = [
     "run_arcs_online",
     "run_default",
     "run_strategy",
+    "run_sweep_task",
 ]

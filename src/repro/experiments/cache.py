@@ -1,0 +1,357 @@
+"""Content-addressed cache for :class:`StrategyRunResult`\\ s.
+
+The ARCS history file already memoizes the *tuning* phase ("the saved
+values can be used instead of repeating the search process", paper
+Section III-B).  This module extends the same idea to whole
+measurements: a sweep cell is a pure function of its experiment
+parameters, so its summarized result can be keyed by a deterministic
+digest of those parameters and replayed from disk on the next run.
+
+Layout (default root ``results/.cache``)::
+
+    results/.cache/
+        <digest>.json          # one cached StrategyRunResult per cell
+        history/<digest>.json  # shared tuned HistoryStore per
+                               # (app, machine, cap) - see parallel.py
+
+Every entry is stamped with :data:`CACHE_SCHEMA_VERSION`; entries
+written by an older schema (or unreadable/corrupt files) are treated
+as misses and silently overwritten, never crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.overhead import OverheadReport
+from repro.experiments.runner import ExperimentSetup, StrategyRunResult
+from repro.openmp.records import RegionTotals
+from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.workloads.base import Application, AppRunResult
+
+#: bump whenever the digest inputs or the serialized result layout
+#: change; stale entries become cache misses.
+CACHE_SCHEMA_VERSION = 1
+
+#: default on-disk location, alongside the regenerated figure data.
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+
+# ---------------------------------------------------------------------------
+# digesting
+# ---------------------------------------------------------------------------
+def app_fingerprint(app: Application) -> str:
+    """A deterministic content fingerprint of an application.
+
+    ``repr`` of the frozen dataclass tree covers every region profile
+    field, so two apps sharing a (name, workload) label but differing
+    in timesteps or region characterization never collide.
+    """
+    return hashlib.sha256(repr(app).encode()).hexdigest()[:16]
+
+
+def experiment_digest(
+    app: Application, setup: ExperimentSetup, strategy: str
+) -> str:
+    """Deterministic hex digest identifying one sweep cell.
+
+    Keys every input that influences the measurement: application
+    (name, workload, content fingerprint), machine, power cap,
+    strategy, repeats, seed, noise level and the online search budget.
+    """
+    key = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "app": app.name,
+        "workload": app.workload,
+        "fingerprint": app_fingerprint(app),
+        "machine": setup.spec.name,
+        "cap_w": setup.cap_w,
+        "strategy": strategy,
+        "repeats": setup.repeats,
+        "seed": setup.seed,
+        "noise_sigma": setup.noise_sigma,
+        "online_max_evals": setup.online_max_evals,
+    }
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def tuning_digest(app: Application, setup: ExperimentSetup) -> str:
+    """Digest for the shared tuned history of one (app, machine, cap).
+
+    Strategy, repeats and the online budget are deliberately excluded:
+    every offline cell of the same experiment context replays the same
+    exhaustive tuning result.
+    """
+    key = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "app": app.name,
+        "workload": app.workload,
+        "fingerprint": app_fingerprint(app),
+        "machine": setup.spec.name,
+        "cap_w": setup.cap_w,
+        "seed": setup.seed,
+        "noise_sigma": setup.noise_sigma,
+    }
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# StrategyRunResult <-> JSON
+# ---------------------------------------------------------------------------
+def _config_to_json(config: OMPConfig) -> dict:
+    return {
+        "n_threads": config.n_threads,
+        "schedule": config.schedule.value,
+        "chunk": config.chunk,
+    }
+
+
+def _config_from_json(blob: dict) -> OMPConfig:
+    return OMPConfig(
+        n_threads=int(blob["n_threads"]),
+        schedule=ScheduleKind(blob["schedule"]),
+        chunk=None if blob["chunk"] is None else int(blob["chunk"]),
+    )
+
+
+def _totals_to_json(totals: RegionTotals) -> dict:
+    return {
+        "region_name": totals.region_name,
+        "calls": totals.calls,
+        "implicit_task_s": totals.implicit_task_s,
+        "loop_s": totals.loop_s,
+        "barrier_s": totals.barrier_s,
+        "energy_j": totals.energy_j,
+    }
+
+
+def _totals_from_json(blob: dict) -> RegionTotals:
+    return RegionTotals(
+        region_name=blob["region_name"],
+        calls=int(blob["calls"]),
+        implicit_task_s=blob["implicit_task_s"],
+        loop_s=blob["loop_s"],
+        barrier_s=blob["barrier_s"],
+        energy_j=blob["energy_j"],
+    )
+
+
+def _run_to_json(run: AppRunResult) -> dict:
+    return {
+        "app_label": run.app_label,
+        "time_s": run.time_s,
+        "energy_j": run.energy_j,
+        "region_totals": {
+            name: _totals_to_json(t)
+            for name, t in run.region_totals.items()
+        },
+        "region_miss_rates": {
+            name: list(rates)
+            for name, rates in run.region_miss_rates.items()
+        },
+        "total_region_calls": run.total_region_calls,
+    }
+
+
+def _run_from_json(blob: dict) -> AppRunResult:
+    return AppRunResult(
+        app_label=blob["app_label"],
+        time_s=blob["time_s"],
+        energy_j=blob["energy_j"],
+        region_totals={
+            name: _totals_from_json(t)
+            for name, t in blob["region_totals"].items()
+        },
+        region_miss_rates={
+            name: (rates[0], rates[1], rates[2])
+            for name, rates in blob["region_miss_rates"].items()
+        },
+        total_region_calls=int(blob["total_region_calls"]),
+    )
+
+
+def _overhead_to_json(overhead: OverheadReport | None) -> dict | None:
+    if overhead is None:
+        return None
+    return {
+        "config_change_s": overhead.config_change_s,
+        "config_change_calls": overhead.config_change_calls,
+        "instrumentation_s": overhead.instrumentation_s,
+        "search_s": overhead.search_s,
+    }
+
+
+def _overhead_from_json(blob: dict | None) -> OverheadReport | None:
+    if blob is None:
+        return None
+    return OverheadReport(
+        config_change_s=blob["config_change_s"],
+        config_change_calls=int(blob["config_change_calls"]),
+        instrumentation_s=blob["instrumentation_s"],
+        search_s=blob["search_s"],
+    )
+
+
+def result_to_json(result: StrategyRunResult) -> dict:
+    """Full-fidelity JSON form of a result (floats round-trip exactly
+    through ``json`` because Python serializes them via ``repr``)."""
+    return {
+        "strategy": result.strategy,
+        "app_label": result.app_label,
+        "machine": result.machine,
+        "cap_w": result.cap_w,
+        "time_s": result.time_s,
+        "energy_j": result.energy_j,
+        "runs": [_run_to_json(r) for r in result.runs],
+        "chosen_configs": {
+            name: _config_to_json(cfg)
+            for name, cfg in result.chosen_configs.items()
+        },
+        "overhead": _overhead_to_json(result.overhead),
+        "tuning_runs": result.tuning_runs,
+    }
+
+
+def result_from_json(blob: dict) -> StrategyRunResult:
+    return StrategyRunResult(
+        strategy=blob["strategy"],
+        app_label=blob["app_label"],
+        machine=blob["machine"],
+        cap_w=blob["cap_w"],
+        time_s=blob["time_s"],
+        energy_j=blob["energy_j"],
+        runs=tuple(_run_from_json(r) for r in blob["runs"]),
+        chosen_configs={
+            name: _config_from_json(cfg)
+            for name, cfg in blob["chosen_configs"].items()
+        },
+        overhead=_overhead_from_json(blob["overhead"]),
+        tuning_runs=int(blob["tuning_runs"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss counters (misses include invalidated entries)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+    writes: int = 0
+
+
+@dataclass
+class ExperimentCache:
+    """On-disk result cache keyed by :func:`experiment_digest`.
+
+    All reads degrade gracefully: a missing, corrupt, or
+    schema-mismatched entry is a miss, never an exception.  Writes are
+    atomic (temp file + ``os.replace``) so concurrent sweep workers
+    and interrupted runs cannot leave torn entries behind.
+    """
+
+    root: Path = DEFAULT_CACHE_DIR
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- paths ---------------------------------------------------------
+    def result_path(
+        self, app: Application, setup: ExperimentSetup, strategy: str
+    ) -> Path:
+        return self.root / f"{experiment_digest(app, setup, strategy)}.json"
+
+    def history_path(
+        self, app: Application, setup: ExperimentSetup
+    ) -> Path:
+        """Where the shared tuned history for this (app, machine, cap)
+        lives; offline cells replay it instead of re-tuning."""
+        return self.root / "history" / f"{tuning_digest(app, setup)}.json"
+
+    # -- read / write --------------------------------------------------
+    def get(
+        self, app: Application, setup: ExperimentSetup, strategy: str
+    ) -> StrategyRunResult | None:
+        path = self.result_path(app, setup, strategy)
+        try:
+            blob = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(blob, dict)
+            or blob.get("schema") != CACHE_SCHEMA_VERSION
+        ):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        try:
+            result = result_from_json(blob["result"])
+        except (KeyError, TypeError, ValueError, IndexError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        app: Application,
+        setup: ExperimentSetup,
+        strategy: str,
+        result: StrategyRunResult,
+    ) -> Path:
+        path = self.result_path(app, setup, strategy)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "digest": path.stem,
+                "app": app.label,
+                "machine": setup.spec.name,
+                "strategy": strategy,
+                "result": result_to_json(result),
+            },
+            indent=2,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def clear(self) -> int:
+        """Remove every cached entry (results and shared histories);
+        returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in sorted(self.root.rglob("*.json")):
+            path.unlink()
+            removed += 1
+        return removed

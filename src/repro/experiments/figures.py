@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from repro.core.config import search_space_for
 from repro.core.history import HistoryStore
+from repro.experiments.cache import ExperimentCache
+from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
 from repro.experiments.runner import (
     CRILL_POWER_LEVELS,
     ExperimentSetup,
@@ -230,35 +232,83 @@ class PowerSweep:
         return f"{cap:g}W"
 
 
+#: the strategies every sweep compares, in table order.
+SWEEP_STRATEGIES = ("default", "arcs-online", "arcs-offline")
+
+
 def power_sweep(
     app: Application,
     spec: MachineSpec,
     caps: tuple[float, ...],
     repeats: int = 3,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    cache: ExperimentCache | None = None,
+    timeout_s: float | None = None,
+    executor: ParallelSweepExecutor | None = None,
 ) -> PowerSweep:
-    """Run default / ARCS-Online / ARCS-Offline at each power level."""
-    cells: dict[tuple[str, str], SweepCell] = {}
-    results: dict[tuple[str, str], StrategyRunResult] = {}
+    """Run default / ARCS-Online / ARCS-Offline at each power level.
+
+    Each (cap, strategy) cell is an independent :class:`SweepTask`;
+    ``workers`` fans them out over a process pool and ``cache``
+    memoizes completed cells (and the exhaustive tuning history of the
+    offline cells) on disk.  The defaults - one worker, no cache -
+    reproduce the original strictly-serial in-process behaviour
+    bit-for-bit.
+    """
+    if executor is None:
+        executor = ParallelSweepExecutor(
+            max_workers=workers, cache=cache, timeout_s=timeout_s
+        )
+    else:
+        cache = executor.cache
+
+    tasks: list[SweepTask] = []
+    labels: list[str] = []
     for cap in caps:
         cap_arg = None if cap >= spec.tdp_w else cap
         label = "TDP" if cap_arg is None else f"{cap:g}W"
-        setup = ExperimentSetup(
-            spec=spec, cap_w=cap_arg, repeats=repeats, seed=seed
-        )
-        base = run_default(app, setup)
-        online = run_arcs_online(app, setup)
-        offline = run_arcs_offline(app, setup)
-        for res in (base, online, offline):
-            results[(label, res.strategy)] = res
-            cells[(label, res.strategy)] = SweepCell(
-                time_norm=res.time_s / base.time_s,
-                energy_norm=(
-                    None
-                    if base.energy_j is None or res.energy_j is None
-                    else res.energy_j / base.energy_j
-                ),
+        for strategy in SWEEP_STRATEGIES:
+            history_path = None
+            if cache is not None and strategy == "arcs-offline":
+                setup = ExperimentSetup(
+                    spec=spec, cap_w=cap_arg, repeats=repeats, seed=seed
+                )
+                history_path = str(cache.history_path(app, setup))
+            tasks.append(
+                SweepTask(
+                    app=app,
+                    spec=spec,
+                    strategy=strategy,
+                    cap_w=cap_arg,
+                    repeats=repeats,
+                    seed=seed,
+                    history_path=history_path,
+                )
             )
+            labels.append(label)
+
+    run_results = executor.run(tasks)
+
+    cells: dict[tuple[str, str], SweepCell] = {}
+    results: dict[tuple[str, str], StrategyRunResult] = {}
+    bases: dict[str, StrategyRunResult] = {
+        label: res
+        for label, res in zip(labels, run_results)
+        if res.strategy == "default"
+    }
+    for label, res in zip(labels, run_results):
+        base = bases[label]
+        results[(label, res.strategy)] = res
+        cells[(label, res.strategy)] = SweepCell(
+            time_norm=res.time_s / base.time_s,
+            energy_norm=(
+                None
+                if base.energy_j is None or res.energy_j is None
+                else res.energy_j / base.energy_j
+            ),
+        )
     return PowerSweep(
         app_label=app.label,
         machine=spec.name,
@@ -268,38 +318,57 @@ def power_sweep(
     )
 
 
-def fig4_sp_power_sweep(repeats: int = 3) -> PowerSweep:
+def fig4_sp_power_sweep(
+    repeats: int = 3,
+    workers: int = 1,
+    cache: ExperimentCache | None = None,
+) -> PowerSweep:
     """Figure 4: SP-B on Crill across five power levels."""
     return power_sweep(
-        sp_application("B"), crill(), CRILL_POWER_LEVELS, repeats=repeats
+        sp_application("B"), crill(), CRILL_POWER_LEVELS,
+        repeats=repeats, workers=workers, cache=cache,
     )
 
 
-def fig5_sp_class_c(repeats: int = 3) -> PowerSweep:
+def fig5_sp_class_c(
+    repeats: int = 3,
+    workers: int = 1,
+    cache: ExperimentCache | None = None,
+) -> PowerSweep:
     """Figure 5: SP-C on Crill at TDP (time and energy)."""
     return power_sweep(
-        sp_application("C"), crill(), (115.0,), repeats=repeats
+        sp_application("C"), crill(), (115.0,),
+        repeats=repeats, workers=workers, cache=cache,
     )
 
 
-def fig7_bt_power_sweep(repeats: int = 3) -> PowerSweep:
+def fig7_bt_power_sweep(
+    repeats: int = 3,
+    workers: int = 1,
+    cache: ExperimentCache | None = None,
+) -> PowerSweep:
     """Figure 7: BT-B on Crill across five power levels."""
     return power_sweep(
-        bt_application("B"), crill(), CRILL_POWER_LEVELS, repeats=repeats
+        bt_application("B"), crill(), CRILL_POWER_LEVELS,
+        repeats=repeats, workers=workers, cache=cache,
     )
 
 
 def fig8_lulesh(
     repeats: int = 3,
+    workers: int = 1,
+    cache: ExperimentCache | None = None,
 ) -> tuple[PowerSweep, PowerSweep]:
     """Figure 8: LULESH mesh 45 - (a/b) Crill across power levels,
     (c) Minotaur at TDP (time only)."""
     app = lulesh_application(45)
     crill_sweep = power_sweep(
-        app, crill(), CRILL_POWER_LEVELS, repeats=repeats
+        app, crill(), CRILL_POWER_LEVELS,
+        repeats=repeats, workers=workers, cache=cache,
     )
     minotaur_sweep = power_sweep(
-        app, minotaur(), (190.0,), repeats=repeats
+        app, minotaur(), (190.0,),
+        repeats=repeats, workers=workers, cache=cache,
     )
     return crill_sweep, minotaur_sweep
 

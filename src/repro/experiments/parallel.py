@@ -1,0 +1,253 @@
+"""Process-pool sweep execution with memoized results.
+
+``power_sweep`` historically ran its (strategy x cap) grid strictly
+serially in one process and re-ran exhaustive tuning from scratch on
+every invocation.  This module supplies the two missing pieces:
+
+* :class:`ParallelSweepExecutor` fans independent sweep cells out over
+  a :class:`concurrent.futures.ProcessPoolExecutor` with a per-task
+  timeout and bounded retry, falling back to exact in-process serial
+  execution at ``max_workers=1`` (the determinism-test path);
+* each cell is checked against an :class:`~repro.experiments.cache.
+  ExperimentCache` first, and offline cells share one on-disk tuned
+  :class:`~repro.core.history.HistoryStore` per (app, machine, cap) so
+  exhaustive tuning runs once, not once per caller.
+
+Every task is a pure function of its :class:`SweepTask` spec, so
+results are bit-identical whether computed inline, in a worker
+process, or replayed from the cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.core.history import HistoryStore
+from repro.experiments.cache import ExperimentCache
+from repro.experiments.runner import (
+    ExperimentSetup,
+    StrategyRunResult,
+    run_strategy,
+)
+from repro.machine.spec import MachineSpec
+from repro.workloads.base import Application
+
+#: strategy aliases that replay a shared tuned history when one is
+#: attached to the task.
+_OFFLINE_STRATEGIES = ("arcs-offline", "offline")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One self-contained sweep cell: everything a worker process
+    needs to reproduce the measurement, picklable as a unit."""
+
+    app: Application
+    spec: MachineSpec
+    strategy: str
+    cap_w: float | None = None
+    repeats: int = 3
+    seed: int = 0
+    noise_sigma: float = 0.01
+    online_max_evals: int = 40
+    #: path of the shared tuned history (offline cells only); ``None``
+    #: keeps the old behaviour of an in-memory throwaway store.
+    history_path: str | None = None
+
+    def setup(self) -> ExperimentSetup:
+        return ExperimentSetup(
+            spec=self.spec,
+            cap_w=self.cap_w,
+            repeats=self.repeats,
+            seed=self.seed,
+            noise_sigma=self.noise_sigma,
+            online_max_evals=self.online_max_evals,
+        )
+
+    @property
+    def label(self) -> str:
+        cap = "TDP" if self.cap_w is None else f"{self.cap_w:g}W"
+        return f"{self.app.label}@{cap}/{self.strategy}"
+
+
+def run_sweep_task(task: SweepTask) -> StrategyRunResult:
+    """Execute one sweep cell (runs inside worker processes).
+
+    Offline cells with a ``history_path`` load the shared tuned
+    history first; when it already holds this experiment key the
+    exhaustive tuning phase is skipped entirely.
+    """
+    history = None
+    if (
+        task.history_path is not None
+        and task.strategy.lower() in _OFFLINE_STRATEGIES
+    ):
+        history = HistoryStore(task.history_path)
+    return run_strategy(
+        task.strategy, task.app, task.setup(), history=history
+    )
+
+
+class SweepTaskError(RuntimeError):
+    """A sweep cell failed (or timed out) on every allowed attempt."""
+
+    def __init__(
+        self, task: SweepTask, attempts: int, cause: BaseException
+    ) -> None:
+        self.task = task
+        self.attempts = attempts
+        self.cause = cause
+        reason = (
+            "timed out"
+            if isinstance(cause, FutureTimeoutError)
+            else f"raised {type(cause).__name__}: {cause}"
+        )
+        super().__init__(
+            f"sweep task {task.label} {reason} after "
+            f"{attempts} attempt(s)"
+        )
+
+
+class ParallelSweepExecutor:
+    """Run sweep cells concurrently, memoizing through a cache.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size.  ``1`` (the default) executes every task inline in
+        the calling process - no pool, no pickling - which is the
+        reference path determinism tests compare against.
+    cache:
+        Optional :class:`ExperimentCache`; hits skip execution
+        entirely and completed cells are written back.
+    timeout_s:
+        Per-task wall-clock budget (pool mode only; inline execution
+        cannot be interrupted).  A timed-out task counts as a failed
+        attempt.  The stuck worker is abandoned, not killed, so pair
+        timeouts with tasks that eventually terminate.
+    retries:
+        Extra attempts per task after the first failure.
+    task_fn:
+        The function executed per task (default :func:`run_sweep_task`).
+        Must be picklable (module-level) when ``max_workers > 1``;
+        injectable for fault-injection tests.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: ExperimentCache | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        task_fn: Callable[[SweepTask], StrategyRunResult] = run_sweep_task,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.max_workers = max_workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.task_fn = task_fn
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SweepTask]) -> list[StrategyRunResult]:
+        """Execute ``tasks``; the result list is aligned with input
+        order regardless of completion order."""
+        tasks = list(tasks)
+        results: list[StrategyRunResult | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for i, task in enumerate(tasks):
+            cached = self._cache_get(task)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+
+        if not pending:
+            return [r for r in results if r is not None]
+
+        if self.max_workers == 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = self._run_inline(tasks[i])
+        else:
+            self._run_pool(tasks, pending, results)
+
+        out: list[StrategyRunResult] = []
+        for result in results:
+            assert result is not None
+            out.append(result)
+        return out
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, task: SweepTask) -> StrategyRunResult | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(task.app, task.setup(), task.strategy)
+
+    def _cache_put(self, task: SweepTask, result: StrategyRunResult) -> None:
+        if self.cache is not None:
+            self.cache.put(task.app, task.setup(), task.strategy, result)
+
+    def _run_inline(self, task: SweepTask) -> StrategyRunResult:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self.task_fn(task)
+            except Exception as exc:
+                if attempt > self.retries:
+                    raise SweepTaskError(task, attempt, exc) from exc
+            else:
+                self._cache_put(task, result)
+                return result
+
+    def _run_pool(
+        self,
+        tasks: list[SweepTask],
+        pending: list[int],
+        results: list[StrategyRunResult | None],
+    ) -> None:
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(pending))
+        )
+        clean = False
+        try:
+            # (task index, attempt number, future); failed attempts
+            # append their retry to the end of the queue.
+            inflight: list[tuple[int, int, Future]] = [
+                (i, 1, pool.submit(self.task_fn, tasks[i]))
+                for i in pending
+            ]
+            cursor = 0
+            while cursor < len(inflight):
+                i, attempt, future = inflight[cursor]
+                cursor += 1
+                try:
+                    result = future.result(timeout=self.timeout_s)
+                except Exception as exc:
+                    if attempt > self.retries:
+                        raise SweepTaskError(
+                            tasks[i], attempt, exc
+                        ) from exc
+                    inflight.append(
+                        (
+                            i,
+                            attempt + 1,
+                            pool.submit(self.task_fn, tasks[i]),
+                        )
+                    )
+                else:
+                    results[i] = result
+                    self._cache_put(tasks[i], result)
+            clean = True
+        finally:
+            # On failure, drop queued work and do not block on any
+            # still-running (possibly stuck) worker.
+            pool.shutdown(wait=clean, cancel_futures=not clean)

@@ -39,6 +39,22 @@ DEFAULT_REPEATS = 3
 MAX_TUNING_RUNS = 10
 
 
+class TuningDidNotConverge(RuntimeError):
+    """ARCS-Offline exhausted its tuning-run budget without saving a
+    history entry (search never converged, or converged with nothing
+    to save).  Replaces the opaque ``KeyError`` the replay phase used
+    to raise when ``history.load`` found no entry."""
+
+    def __init__(self, key: str, runs_used: int) -> None:
+        self.key = key
+        self.runs_used = runs_used
+        super().__init__(
+            f"exhaustive tuning for {key!r} did not converge within "
+            f"{runs_used} run(s) (MAX_TUNING_RUNS={MAX_TUNING_RUNS}); "
+            "no best configurations were saved to the history"
+        )
+
+
 @dataclass(frozen=True)
 class ExperimentSetup:
     """Everything defining one measurement context."""
@@ -49,6 +65,23 @@ class ExperimentSetup:
     seed: int = 0
     noise_sigma: float = 0.01
     online_max_evals: int = 40
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(
+                f"repeats must be >= 1, got {self.repeats}"
+            )
+        if self.cap_w is not None:
+            if self.cap_w <= 0:
+                raise ValueError(
+                    f"cap_w must be positive, got {self.cap_w}"
+                )
+            if not self.spec.supports_power_cap:
+                raise ValueError(
+                    f"machine {self.spec.name!r} has no power-capping "
+                    f"privilege; a cap of {self.cap_w:g} W cannot be "
+                    "applied (run uncapped with cap_w=None instead)"
+                )
 
     @property
     def summary_mode(self) -> str:
@@ -86,7 +119,10 @@ def fresh_runtime(
         seed=derive_seed(setup.seed, "run", run_index),
         noise_sigma=setup.noise_sigma,
     )
-    if setup.cap_w is not None and setup.spec.supports_power_cap:
+    if setup.cap_w is not None:
+        # ExperimentSetup guarantees the spec supports capping; a
+        # silently-ignored cap here used to report "capped" results
+        # that actually ran at TDP.
         node.set_power_cap(setup.cap_w)
         node.settle_after_cap()
     return runtime
@@ -205,6 +241,8 @@ def run_arcs_offline(
             if arcs.converged:
                 break
         arcs.finalize()
+        if not history.has(key):
+            raise TuningDidNotConverge(key, tuning_runs)
 
     results = []
     overhead: OverheadReport | None = None

@@ -22,6 +22,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--strategy", "magic"])
 
+    def test_sweep_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "4", "--no-cache", "--seed", "7"]
+        )
+        assert args.workers == 4
+        assert args.no_cache is True
+        assert args.seed == 7
+
+    def test_sweep_defaults_to_serial_cached(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.no_cache is False
+        assert args.cache_dir.endswith(".cache")
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -60,6 +74,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "85W" in out
         assert "chosen configurations" in out
+
+    def test_run_cap_on_noncapping_machine_is_friendly(self, capsys):
+        """--cap on Minotaur used to silently run at TDP while
+        reporting a capped result."""
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "run", "--app", "synthetic",
+                    "--machine", "minotaur", "--cap", "85",
+                ]
+            )
+        assert "power-capping" in str(err.value.code)
+
+    def test_run_zero_repeats_is_friendly(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic", "--repeats", "0"])
+        assert "repeats" in str(err.value.code)
+
+    def test_sweep_rejects_zero_workers(self):
+        with pytest.raises(SystemExit) as err:
+            main(["sweep", "--app", "synthetic", "--workers", "0"])
+        assert "--workers" in str(err.value.code)
+
+    def test_sweep_cached_rerun_hits(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--app", "synthetic", "--repeats", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+        # the rendered sweep itself is unchanged
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_sweep_no_cache_skips_cache_report(self, capsys):
+        assert main(
+            ["sweep", "--app", "synthetic", "--repeats", "1",
+             "--no-cache"]
+        ) == 0
+        assert "[cache]" not in capsys.readouterr().out
 
     def test_run_offline_with_history_file(self, tmp_path, capsys):
         history = tmp_path / "h.json"

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.history import HistoryStore, experiment_key
+from repro.core.history import (
+    CorruptHistoryError,
+    HistoryStore,
+    experiment_key,
+)
 from repro.openmp.types import OMPConfig, ScheduleKind
 
 
@@ -61,6 +65,50 @@ class TestPersistence:
             "k", {"r": OMPConfig(4, ScheduleKind.STATIC, None)}
         )
         assert HistoryStore(path).load("k")["r"].chunk is None
+
+    def test_persist_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "h.json"
+        store = HistoryStore(path)
+        for i in range(3):
+            store.save(f"k{i}", configs())
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["h.json"]
+
+
+class TestCorruption:
+    def test_truncated_file_raises_clear_error(self, tmp_path):
+        """A crash mid-write used to surface later as a raw
+        JSONDecodeError; the error must now name the bad path."""
+        path = tmp_path / "h.json"
+        path.write_text('{"k": {"r": {"n_threads":')
+        with pytest.raises(CorruptHistoryError) as err:
+            HistoryStore(path)
+        assert str(path) in str(err.value)
+        assert err.value.path == path
+
+    def test_wrong_top_level_type_raises(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CorruptHistoryError, match="JSON object"):
+            HistoryStore(path)
+
+    def test_failed_write_preserves_previous_contents(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.core.history as history_mod
+
+        path = tmp_path / "h.json"
+        store = HistoryStore(path)
+        store.save("k", configs())
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash")
+
+        monkeypatch.setattr(history_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.save("k2", {"r": OMPConfig(2)})
+        assert path.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestExperimentKey:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.controller import ARCS
 from repro.core.history import HistoryStore
-from repro.core.policy import ArcsPolicy
+from repro.core.policy import ArcsPolicy, MissingRegionConfigError
 from repro.harmony.space import Parameter, SearchSpace
 from repro.openmp.types import OMPConfig, ScheduleKind
 from tests.test_openmp_engine import make_region
@@ -129,11 +129,26 @@ class TestReplayMode:
         rec = runtime.parallel_for(make_region(name="r"))
         assert rec.config == cfg
 
-    def test_unknown_region_keeps_current_config(self, runtime):
+    def test_unknown_region_raises_by_default(self, runtime):
+        """Replay silently executing an unknown region with whatever
+        configuration is current mis-measures the run; strict replay
+        (the default) refuses instead."""
         history = HistoryStore()
         history.save("k", {"other": OMPConfig(4)})
         attach_arcs(
             runtime, history=history, history_key="k", replay=True
+        )
+        with pytest.raises(MissingRegionConfigError) as err:
+            runtime.parallel_for(make_region(name="r"))
+        assert "'r'" in str(err.value)
+        assert "other" in str(err.value)
+
+    def test_unknown_region_tolerated_when_not_strict(self, runtime):
+        history = HistoryStore()
+        history.save("k", {"other": OMPConfig(4)})
+        attach_arcs(
+            runtime, history=history, history_key="k", replay=True,
+            strict_replay=False,
         )
         rec = runtime.parallel_for(make_region(name="r"))
         assert rec.config.n_threads == 32

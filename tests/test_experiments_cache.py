@@ -1,0 +1,241 @@
+"""Tests for the content-addressed experiment result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    ExperimentCache,
+    app_fingerprint,
+    experiment_digest,
+    result_from_json,
+    result_to_json,
+    tuning_digest,
+)
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_default,
+)
+from repro.machine.spec import crill
+from repro.workloads.synthetic import synthetic_application
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def app():
+    return synthetic_application(timesteps=3, include_tiny=False)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(spec=crill(), cap_w=85.0, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def offline_result(app, setup):
+    return run_arcs_offline(app, setup)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ExperimentCache(tmp_path / "cache")
+
+
+class TestDigest:
+    def test_deterministic_within_process(self, app, setup):
+        assert experiment_digest(app, setup, "default") == (
+            experiment_digest(app, setup, "default")
+        )
+
+    def test_sensitive_to_every_keyed_field(self, app, setup):
+        base = experiment_digest(app, setup, "default")
+        variants = [
+            experiment_digest(app, setup, "arcs-offline"),
+            experiment_digest(
+                app,
+                ExperimentSetup(spec=crill(), cap_w=70.0, repeats=2),
+                "default",
+            ),
+            experiment_digest(
+                app,
+                ExperimentSetup(spec=crill(), cap_w=85.0, repeats=3),
+                "default",
+            ),
+            experiment_digest(
+                app,
+                ExperimentSetup(
+                    spec=crill(), cap_w=85.0, repeats=2, seed=1
+                ),
+                "default",
+            ),
+            experiment_digest(
+                app,
+                ExperimentSetup(
+                    spec=crill(), cap_w=85.0, repeats=2,
+                    noise_sigma=0.02,
+                ),
+                "default",
+            ),
+            experiment_digest(
+                app,
+                ExperimentSetup(
+                    spec=crill(), cap_w=85.0, repeats=2,
+                    online_max_evals=10,
+                ),
+                "default",
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_app_content_matters_not_just_label(self, setup):
+        """Two apps with the same (name, workload) but different
+        content must not collide in the cache."""
+        a = synthetic_application(timesteps=3, include_tiny=False)
+        b = synthetic_application(timesteps=4, include_tiny=False)
+        assert a.label == b.label
+        assert app_fingerprint(a) != app_fingerprint(b)
+        assert experiment_digest(a, setup, "default") != (
+            experiment_digest(b, setup, "default")
+        )
+
+    def test_stable_across_processes(self, app, setup):
+        """The digest must not depend on interpreter state (e.g.
+        PYTHONHASHSEED) - workers and later runs must agree."""
+        script = (
+            "from repro.experiments.cache import experiment_digest\n"
+            "from repro.experiments.runner import ExperimentSetup\n"
+            "from repro.machine.spec import crill\n"
+            "from repro.workloads.synthetic import "
+            "synthetic_application\n"
+            "app = synthetic_application(timesteps=3, "
+            "include_tiny=False)\n"
+            "setup = ExperimentSetup(spec=crill(), cap_w=85.0, "
+            "repeats=2)\n"
+            "print(experiment_digest(app, setup, 'arcs-offline'))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        digests = set()
+        for hashseed in ("1", "2"):
+            env["PYTHONHASHSEED"] = hashseed
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            digests.add(out.stdout.strip())
+        digests.add(experiment_digest(app, setup, "arcs-offline"))
+        assert len(digests) == 1
+
+    def test_tuning_digest_shared_across_strategy_knobs(self, app):
+        """The tuned history is keyed by (app, machine, cap, seed,
+        noise) only - repeats and online budget do not re-tune."""
+        a = ExperimentSetup(spec=crill(), cap_w=85.0, repeats=2)
+        b = ExperimentSetup(
+            spec=crill(), cap_w=85.0, repeats=3, online_max_evals=10
+        )
+        c = ExperimentSetup(spec=crill(), cap_w=70.0, repeats=2)
+        assert tuning_digest(app, a) == tuning_digest(app, b)
+        assert tuning_digest(app, a) != tuning_digest(app, c)
+
+
+class TestSerialization:
+    def test_roundtrip_is_lossless(self, offline_result):
+        blob = result_to_json(offline_result)
+        # through actual JSON text, as the cache stores it
+        restored = result_from_json(json.loads(json.dumps(blob)))
+        assert restored == offline_result
+
+    def test_roundtrip_preserves_floats_exactly(self, offline_result):
+        restored = result_from_json(
+            json.loads(json.dumps(result_to_json(offline_result)))
+        )
+        assert restored.time_s == offline_result.time_s
+        assert restored.energy_j == offline_result.energy_j
+        for a, b in zip(restored.runs, offline_result.runs):
+            assert a.time_s == b.time_s
+            assert a.region_miss_rates == b.region_miss_rates
+
+    def test_none_energy_survives(self, app):
+        from repro.machine.spec import minotaur
+
+        setup = ExperimentSetup(spec=minotaur(), repeats=1)
+        result = run_default(app, setup)
+        assert result.energy_j is None
+        restored = result_from_json(
+            json.loads(json.dumps(result_to_json(result)))
+        )
+        assert restored == result
+
+
+class TestCacheStore:
+    def test_miss_then_hit(self, cache, app, setup, offline_result):
+        assert cache.get(app, setup, "arcs-offline") is None
+        cache.put(app, setup, "arcs-offline", offline_result)
+        assert cache.get(app, setup, "arcs-offline") == offline_result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_cells_do_not_collide(
+        self, cache, app, setup, offline_result
+    ):
+        cache.put(app, setup, "arcs-offline", offline_result)
+        assert cache.get(app, setup, "default") is None
+        other = ExperimentSetup(spec=crill(), cap_w=70.0, repeats=2)
+        assert cache.get(app, other, "arcs-offline") is None
+
+    def test_corrupt_entry_is_a_miss(
+        self, cache, app, setup, offline_result
+    ):
+        path = cache.put(app, setup, "arcs-offline", offline_result)
+        path.write_text("{ not json")
+        assert cache.get(app, setup, "arcs-offline") is None
+        assert cache.stats.invalidated == 1
+
+    def test_schema_mismatch_invalidates(
+        self, cache, app, setup, offline_result
+    ):
+        path = cache.put(app, setup, "arcs-offline", offline_result)
+        blob = json.loads(path.read_text())
+        blob["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(blob))
+        assert cache.get(app, setup, "arcs-offline") is None
+        assert cache.stats.invalidated == 1
+        # a fresh put repairs the entry
+        cache.put(app, setup, "arcs-offline", offline_result)
+        assert cache.get(app, setup, "arcs-offline") == offline_result
+
+    def test_truncated_entry_is_a_miss(
+        self, cache, app, setup, offline_result
+    ):
+        """A crash mid-write must never poison later runs."""
+        path = cache.put(app, setup, "arcs-offline", offline_result)
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        assert cache.get(app, setup, "arcs-offline") is None
+
+    def test_put_leaves_no_temp_files(
+        self, cache, app, setup, offline_result
+    ):
+        path = cache.put(app, setup, "arcs-offline", offline_result)
+        leftovers = [
+            p for p in path.parent.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_clear(self, cache, app, setup, offline_result):
+        cache.put(app, setup, "arcs-offline", offline_result)
+        cache.history_path(app, setup).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        cache.history_path(app, setup).write_text("{}")
+        assert cache.clear() == 2
+        assert cache.get(app, setup, "arcs-offline") is None

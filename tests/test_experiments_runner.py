@@ -41,10 +41,22 @@ class TestSetup:
         runtime = fresh_runtime(setup)
         assert runtime.node.effective_cap_w() == 70.0
 
-    def test_fresh_runtime_ignores_cap_on_minotaur(self):
-        setup = ExperimentSetup(spec=minotaur(), cap_w=70.0)
-        runtime = fresh_runtime(setup)   # must not raise
+    def test_cap_on_minotaur_rejected_at_construction(self):
+        """A cap on a machine without capping privilege used to be
+        silently ignored, mis-reporting an uncapped run as capped."""
+        with pytest.raises(ValueError, match="power-capping"):
+            ExperimentSetup(spec=minotaur(), cap_w=70.0)
+
+    def test_uncapped_minotaur_still_fine(self):
+        setup = ExperimentSetup(spec=minotaur())
+        runtime = fresh_runtime(setup)
         assert runtime.node.spec.name == "minotaur"
+
+    def test_invalid_repeats_and_cap_values_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            ExperimentSetup(spec=crill(), repeats=0)
+        with pytest.raises(ValueError, match="cap_w"):
+            ExperimentSetup(spec=crill(), cap_w=-5.0)
 
     def test_fresh_runtime_distinct_seeds(self):
         setup = ExperimentSetup(spec=crill())

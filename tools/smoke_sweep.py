@@ -1,0 +1,115 @@
+"""CI smoke target for the parallel cached sweep harness.
+
+Runs the same sweep twice through a fresh cache: the first (cold) pass
+populates it, the second (warm) pass must serve every cell from disk,
+produce byte-identical results, and finish within a strict time
+budget.  Exit code 0 = pass, 1 = fail.
+
+Usage::
+
+    PYTHONPATH=src python tools/smoke_sweep.py
+    PYTHONPATH=src python tools/smoke_sweep.py --app sp --workload B \
+        --workers 4 --warm-budget-s 5
+
+Intended to run in CI alongside the tier-1 tests::
+
+    PYTHONPATH=src python -m pytest -x -q && \
+    PYTHONPATH=src python tools/smoke_sweep.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.cache import ExperimentCache, result_to_json
+from repro.experiments.figures import power_sweep
+from repro.experiments.runner import CRILL_POWER_LEVELS
+from repro.machine.spec import machine_by_name
+from repro.workloads.registry import application_by_name
+
+
+def _encode(sweep) -> str:
+    return json.dumps(
+        {
+            f"{label}/{strategy}": result_to_json(result)
+            for (label, strategy), result in sorted(sweep.results.items())
+        },
+        sort_keys=True,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--app", default="sp")
+    parser.add_argument("--workload", default="B")
+    parser.add_argument("--machine", default="crill")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--warm-budget-s", type=float, default=5.0,
+        help="max wall time allowed for the warm-cache rerun",
+    )
+    args = parser.parse_args(argv)
+
+    spec = machine_by_name(args.machine)
+    app = application_by_name(args.app, args.workload)
+    caps = (
+        CRILL_POWER_LEVELS if spec.supports_power_cap else (spec.tdp_w,)
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(args.cache_dir) if args.cache_dir else Path(tmp)
+        cold_cache = ExperimentCache(root)
+        t0 = time.perf_counter()
+        cold = power_sweep(
+            app, spec, caps, repeats=args.repeats,
+            workers=args.workers, cache=cold_cache,
+        )
+        t_cold = time.perf_counter() - t0
+
+        warm_cache = ExperimentCache(root)
+        t0 = time.perf_counter()
+        warm = power_sweep(
+            app, spec, caps, repeats=args.repeats,
+            workers=args.workers, cache=warm_cache,
+        )
+        t_warm = time.perf_counter() - t0
+
+    cells = len(cold.results)
+    print(
+        f"smoke: {app.label} on {spec.name}, {cells} cells - "
+        f"cold {t_cold:.2f} s, warm {t_warm:.2f} s"
+    )
+
+    failures = []
+    if _encode(warm) != _encode(cold):
+        failures.append("warm-cache rerun differs from the cold sweep")
+    if warm_cache.stats.hits != cells or warm_cache.stats.misses:
+        failures.append(
+            f"warm rerun was not fully cached "
+            f"({warm_cache.stats.hits}/{cells} hits, "
+            f"{warm_cache.stats.misses} misses)"
+        )
+    if t_warm > args.warm_budget_s:
+        failures.append(
+            f"warm rerun took {t_warm:.2f} s "
+            f"(budget {args.warm_budget_s:.2f} s)"
+        )
+    for failure in failures:
+        print(f"smoke FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
