@@ -5,11 +5,22 @@ region and stops that timer upon exit" (Section III-B).  The bridge
 registers OMPT callbacks on a runtime, drives the timer registry and
 the policy engine, and charges the *APEX instrumentation overhead*
 (Section III-C) to the simulated clock for every instrumented event.
+
+The bridge is also a fault boundary: OMPT callbacks on real runtimes
+get lost (tool and runtime race during team formation), and timer
+reads glitch.  When the node carries a fault injector, the
+``ompt.timer_start``/``ompt.timer_stop`` sites drop whole events and
+``measure.noise`` spikes the measured elapsed time; the bridge must
+survive the resulting asymmetric start/stop sequences - a lost stop
+leaves a timer running into the region's next start, a lost start
+leaves a stop with nothing to match - without crashing or feeding
+garbage intervals to the policy.
 """
 
 from __future__ import annotations
 
 from repro.apex.introspection import Introspection
+from repro.faults.plan import DEFAULT_SPIKE_FACTOR, FaultSpec
 from repro.apex.policy import PolicyEngine, TimerEventContext
 from repro.apex.timers import TimerRegistry
 from repro.openmp.ompt import (
@@ -35,6 +46,14 @@ class ApexOmptBridge:
         self._first_by_name: dict[str, bool] = {}
         self._attached = False
         self.instrumentation_time_s = 0.0
+        self.faults = runtime.node.faults
+        #: OMPT events lost to injected dropouts.
+        self.timer_dropouts = 0
+        #: asymmetric start/stop sequences repaired (stale running
+        #: timer discarded, or a stop with no matching start skipped).
+        self.timer_repairs = 0
+        #: measured intervals corrupted by an injected noise spike.
+        self.noise_spikes = 0
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
@@ -82,32 +101,59 @@ class ApexOmptBridge:
             * APEX_EVENT_OVERHEAD_S,
         )
 
+    def _draw(self, site: str) -> FaultSpec | None:
+        if self.faults is None:
+            return None
+        return self.faults.draw(site)
+
     def _on_parallel_begin(self, payload: ParallelBeginPayload) -> None:
+        if self._draw("ompt.timer_start") is not None:
+            # the begin callback was lost: no timer, no policy event -
+            # this execution runs with whatever config is current.
+            self.timer_dropouts += 1
+            return
         self._charge_overhead()
-        _timer, first = self.timers.start(
-            payload.region_name, self.runtime.node.now_s
-        )
-        self._first_by_name[payload.region_name] = first
+        name = payload.region_name
+        if self.timers.is_running(name):
+            # the previous stop event for this region was lost; the
+            # stale interval spans an unknown number of executions, so
+            # discard it rather than report a garbage measurement.
+            self.timers.stop(name, self.runtime.node.now_s)
+            self.timer_repairs += 1
+        _timer, first = self.timers.start(name, self.runtime.node.now_s)
+        self._first_by_name[name] = first
         self.policy_engine.timer_started(
             TimerEventContext(
-                timer_name=payload.region_name,
+                timer_name=name,
                 now_s=self.runtime.node.now_s,
                 first_encounter=first,
             )
         )
 
     def _on_parallel_end(self, payload: ParallelEndPayload) -> None:
+        if self._draw("ompt.timer_stop") is not None:
+            # the end callback was lost; the running timer is left for
+            # the next begin of this region to discard.
+            self.timer_dropouts += 1
+            return
         self._charge_overhead()
-        elapsed = self.timers.stop(
-            payload.region_name, self.runtime.node.now_s
-        )
+        name = payload.region_name
+        if not self.timers.is_running(name):
+            # the matching start was lost: nothing to measure.
+            self.timer_repairs += 1
+            return
+        elapsed = self.timers.stop(name, self.runtime.node.now_s)
+        spike = self._draw("measure.noise")
+        if spike is not None:
+            # a timer glitch: the measurement is corrupted, the actual
+            # execution (clock, energy) is not.
+            elapsed *= spike.magnitude or DEFAULT_SPIKE_FACTOR
+            self.noise_spikes += 1
         self.policy_engine.timer_stopped(
             TimerEventContext(
-                timer_name=payload.region_name,
+                timer_name=name,
                 now_s=self.runtime.node.now_s,
-                first_encounter=self._first_by_name.get(
-                    payload.region_name, False
-                ),
+                first_encounter=self._first_by_name.get(name, False),
                 elapsed_s=elapsed,
                 record=payload.record,
             )

@@ -17,12 +17,16 @@ from collections.abc import Sequence
 from repro.core.history import HistoryStore
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.experiments.figures import power_sweep
+from repro.experiments.journal import SweepJournal
+from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.reporting import render_sweep, render_table1
 from repro.experiments.runner import (
     CRILL_POWER_LEVELS,
     ExperimentSetup,
     run_strategy,
 )
+from repro.faults.inject import make_injector
+from repro.faults.plan import FaultPlan, FaultPlanError, load_fault_plan
 from repro.experiments.tables import table1_search_space
 from repro.machine.spec import machine_by_name
 from repro.util.tables import format_table
@@ -64,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--history", default=None,
                      help="path to an ARCS history JSON file")
+    run.add_argument("--faults", default=None, metavar="PLAN.JSON",
+                     help="fault-injection plan (see examples/"
+                          "faultplan.json); omit for a clean run")
 
     sweep = sub.add_parser(
         "sweep",
@@ -86,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=str(DEFAULT_CACHE_DIR),
         help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    sweep.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="fault-injection plan applied to every sweep cell",
+    )
+    sweep.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe journal recording each completed cell; "
+             "pair with --resume to continue an interrupted sweep",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already in --journal instead of re-running "
+             "them (requires --journal)",
+    )
     return parser
 
 
@@ -107,13 +128,22 @@ def _cmd_search_space(args: argparse.Namespace) -> str:
     return render_table1(table1_search_space())
 
 
+def _load_faults(path: str | None) -> FaultPlan | None:
+    if path is None:
+        return None
+    try:
+        return load_fault_plan(path)
+    except FaultPlanError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     spec = machine_by_name(args.machine)
     app = application_by_name(args.app, args.workload)
     try:
         setup = ExperimentSetup(
             spec=spec, cap_w=args.cap, repeats=args.repeats,
-            seed=args.seed,
+            seed=args.seed, fault_plan=_load_faults(args.faults),
         )
     except ValueError as exc:
         # e.g. --cap on a machine without capping privilege, or
@@ -141,6 +171,11 @@ def _cmd_run(args: argparse.Namespace) -> str:
             f"{result.overhead.instrumentation_s * 1e3:.1f} ms, "
             f"search {result.overhead.search_s * 1e3:.1f} ms"
         )
+    if result.degradations:
+        lines.append("  degradations:")
+        lines.extend(
+            f"    - {note}" for note in result.degradations
+        )
     return "\n".join(lines)
 
 
@@ -156,18 +191,41 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         raise SystemExit(
             f"error: --workers must be >= 1, got {args.workers}"
         )
+    if args.resume and args.journal is None:
+        raise SystemExit("error: --resume requires --journal")
     cache = (
         None if args.no_cache else ExperimentCache(args.cache_dir)
     )
+    fault_plan = _load_faults(args.faults)
+    executor = ParallelSweepExecutor(
+        max_workers=args.workers,
+        cache=cache,
+        journal=(
+            SweepJournal(args.journal) if args.journal else None
+        ),
+        resume=args.resume,
+        faults=make_injector(fault_plan),
+    )
     sweep = power_sweep(
         app, spec, caps, repeats=args.repeats, seed=args.seed,
-        workers=args.workers, cache=cache,
+        workers=args.workers, cache=cache, executor=executor,
+        fault_plan=fault_plan,
     )
     lines = [
         render_sweep(
             sweep, f"{app.label} on {spec.name}: strategy comparison"
         )
     ]
+    degradations = sorted(
+        {
+            note
+            for result in sweep.results.values()
+            for note in result.degradations
+        }
+    )
+    if degradations:
+        lines.append("degradations:")
+        lines.extend(f"  - {note}" for note in degradations)
     if cache is not None:
         lines.append(
             f"[cache] {cache.stats.hits} hit(s), "

@@ -112,6 +112,11 @@ class ARCS:
         """Best (or replayed) configuration per region - Table II."""
         return self.policy.best_configs()
 
+    def degradations(self) -> dict[str, str]:
+        """Regions whose tuning gave up and fell back to the default
+        configuration, with the reason for each (empty when healthy)."""
+        return self.policy.degradations()
+
     def overhead_report(self) -> OverheadReport:
         """The Section III-C overhead breakdown for this run."""
         return OverheadReport(

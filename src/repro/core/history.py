@@ -20,6 +20,30 @@ from pathlib import Path
 from repro.openmp.types import OMPConfig, ScheduleKind
 
 
+class HistoryKeyMissing(KeyError):
+    """``HistoryStore.load`` was asked for a key the store does not
+    hold.  Carries the key, the store's path (``None`` for in-memory
+    stores) and the keys that *are* present, so an ARCS-Offline
+    measured run pointed at the wrong history file gets an actionable
+    message instead of a bare ``KeyError``."""
+
+    def __init__(
+        self, key: str, path: Path | None, known: tuple[str, ...]
+    ) -> None:
+        self.key = key
+        self.path = path
+        self.known = known
+        where = "in-memory history" if path is None else f"history {path}"
+        saved = ", ".join(repr(k) for k in known) if known else "none"
+        super().__init__(
+            f"no saved history for {key!r} in {where} "
+            f"(saved keys: {saved}); run the tuning phase first"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0]
+
+
 class CorruptHistoryError(RuntimeError):
     """A history file on disk exists but does not parse as a history.
 
@@ -94,11 +118,14 @@ class HistoryStore:
         self._persist()
 
     def load(self, key: str) -> dict[str, OMPConfig]:
-        """Best configs per region for ``key`` (KeyError if absent)."""
+        """Best configs per region for ``key``
+        (:class:`HistoryKeyMissing` if absent)."""
         try:
             blob = self._data[key]
         except KeyError:
-            raise KeyError(f"no saved history for {key!r}") from None
+            raise HistoryKeyMissing(
+                key, self.path, tuple(self.keys())
+            ) from None
         return {
             region: _config_from_json(entry)[0]
             for region, entry in blob.items()

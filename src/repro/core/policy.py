@@ -28,6 +28,7 @@ Modes:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.apex.policy import Policy, TimerEventContext
@@ -38,10 +39,10 @@ from repro.core.config import (
 )
 from repro.core.overhead import search_overhead_s
 from repro.harmony.engine import make_strategy
-from repro.harmony.session import TuningSession
+from repro.harmony.session import MeasurementGuard, TuningSession
 from repro.harmony.space import SearchSpace
 from repro.openmp.runtime import OpenMPRuntime
-from repro.openmp.types import OMPConfig
+from repro.openmp.types import OMPConfig, default_config
 from repro.util.rng import derive_seed
 
 
@@ -81,6 +82,9 @@ class RegionTuningState:
     skipped: bool = False          # selective mode opted out
     first_elapsed_s: float | None = None
     executions: int = 0
+    #: why tuning gave up on this region (``None`` = healthy); when
+    #: set, the region runs the default configuration from then on.
+    degraded: str | None = None
 
 
 class ArcsPolicy(Policy):
@@ -180,6 +184,17 @@ class ArcsPolicy(Policy):
                 key, start=self._warm_start(context.timer_name)
             )
 
+        if state.session.failed:
+            # degraded mode: tuning could not produce a trusted
+            # configuration, so run the paper's default instead of
+            # crashing or trusting a corrupted simplex.
+            if state.degraded is None:
+                state.degraded = (
+                    state.session.failure_reason or "tuning diverged"
+                )
+            self._apply(state, self._default_config())
+            return
+
         point = state.session.suggest()
         self._apply(state, config_from_point(point))
         if "freq_ghz" in point:
@@ -203,7 +218,11 @@ class ArcsPolicy(Policy):
                 if context.elapsed_s < self.selective_threshold_s:
                     state.skipped = True
                 return
-        if state.session is not None and self.replay is None:
+        if (
+            state.session is not None
+            and self.replay is None
+            and not state.session.failed
+        ):
             state.session.report(self._objective_value(context))
 
     def _objective_value(self, context: TimerEventContext) -> float:
@@ -233,17 +252,46 @@ class ArcsPolicy(Policy):
                 best = self.space.encode(point)
         return best
 
+    def _default_config(self) -> OMPConfig:
+        return default_config(self.runtime.node.spec.total_hw_threads)
+
     def _new_session(
         self, region_name: str, start: tuple[int, ...] | None = None
     ) -> TuningSession:
+        start_point = start if start is not None else self._start_point
         strategy = make_strategy(
             self.strategy_name,
             self.space,
             max_evals=self.max_evals,
             seed=derive_seed(self.seed, "arcs-session", region_name),
-            start=start if start is not None else self._start_point,
+            start=start_point,
         )
-        return TuningSession(self.space, strategy)
+        restart_ids = itertools.count(1)
+
+        def restarted_strategy():
+            # a fresh simplex for divergence recovery, seeded on a
+            # stream distinct from the original (and from previous
+            # restarts) so a restart never replays the diverged path.
+            return make_strategy(
+                self.strategy_name,
+                self.space,
+                max_evals=self.max_evals,
+                seed=derive_seed(
+                    self.seed,
+                    "arcs-session",
+                    region_name,
+                    "restart",
+                    next(restart_ids),
+                ),
+                start=start_point,
+            )
+
+        return TuningSession(
+            self.space,
+            strategy,
+            guard=MeasurementGuard(),
+            strategy_factory=restarted_strategy,
+        )
 
     def _apply(self, state: RegionTuningState, config: OMPConfig) -> None:
         """Drive the runtime to ``config``; only touches the runtime
@@ -271,21 +319,36 @@ class ArcsPolicy(Policy):
 
     def all_converged(self) -> bool:
         """True when every tuned region's session has converged (regions
-        skipped by selective mode and replayed regions count as done)."""
+        skipped by selective mode, replayed regions and failed sessions
+        count as done - a failed session will never converge)."""
         sessions = self.sessions()
         if self.replay is not None:
             return True
         if not sessions:
             return False
-        return all(s.converged for s in sessions.values())
+        return all(s.converged or s.failed for s in sessions.values())
+
+    def degradations(self) -> dict[str, str]:
+        """Regions that fell back to the default configuration, with
+        the reason tuning gave up on each."""
+        return {
+            name: state.degraded
+            for name, state in sorted(self.regions.items())
+            if state.degraded is not None
+        }
 
     def best_configs(self) -> dict[str, OMPConfig]:
         """Best configuration found per region (search modes), or the
-        replayed mapping."""
+        replayed mapping.  Degraded regions report the default
+        configuration - the one actually applied - rather than a best
+        point from a corrupted search."""
         if self.replay is not None:
             return dict(self.replay)
         configs = {}
         for name, session in self.sessions().items():
+            if session.failed:
+                configs[name] = self._default_config()
+                continue
             point = session.best_point()
             if point is not None:
                 configs[name] = config_from_point(point)

@@ -55,6 +55,19 @@ def app_fingerprint(app: Application) -> str:
     return hashlib.sha256(repr(app).encode()).hexdigest()[:16]
 
 
+def _fault_fingerprint(setup: ExperimentSetup) -> str | None:
+    """Fingerprint of the setup's fault plan, or ``None`` for clean
+    setups.  Returning ``None`` (and omitting the key entirely) keeps
+    every pre-existing clean-run digest byte-identical."""
+    plan = setup.fault_plan
+    if plan is None or not plan:
+        return None
+    blob = json.dumps(
+        plan.to_json(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 def experiment_digest(
     app: Application, setup: ExperimentSetup, strategy: str
 ) -> str:
@@ -77,6 +90,9 @@ def experiment_digest(
         "noise_sigma": setup.noise_sigma,
         "online_max_evals": setup.online_max_evals,
     }
+    faults = _fault_fingerprint(setup)
+    if faults is not None:
+        key["faults"] = faults
     blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -98,6 +114,9 @@ def tuning_digest(app: Application, setup: ExperimentSetup) -> str:
         "seed": setup.seed,
         "noise_sigma": setup.noise_sigma,
     }
+    faults = _fault_fingerprint(setup)
+    if faults is not None:
+        key["faults"] = faults
     blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -157,6 +176,7 @@ def _run_to_json(run: AppRunResult) -> dict:
             for name, rates in run.region_miss_rates.items()
         },
         "total_region_calls": run.total_region_calls,
+        "degraded": list(run.degraded),
     }
 
 
@@ -174,6 +194,7 @@ def _run_from_json(blob: dict) -> AppRunResult:
             for name, rates in blob["region_miss_rates"].items()
         },
         total_region_calls=int(blob["total_region_calls"]),
+        degraded=tuple(blob.get("degraded", ())),
     )
 
 
@@ -216,6 +237,7 @@ def result_to_json(result: StrategyRunResult) -> dict:
         },
         "overhead": _overhead_to_json(result.overhead),
         "tuning_runs": result.tuning_runs,
+        "degradations": list(result.degradations),
     }
 
 
@@ -234,6 +256,7 @@ def result_from_json(blob: dict) -> StrategyRunResult:
         },
         overhead=_overhead_from_json(blob["overhead"]),
         tuning_runs=int(blob["tuning_runs"]),
+        degradations=tuple(blob.get("degradations", ())),
     )
 
 

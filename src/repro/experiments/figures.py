@@ -15,6 +15,7 @@ from repro.core.config import search_space_for
 from repro.core.history import HistoryStore
 from repro.experiments.cache import ExperimentCache
 from repro.experiments.parallel import ParallelSweepExecutor, SweepTask
+from repro.faults.plan import FaultPlan
 from repro.experiments.runner import (
     CRILL_POWER_LEVELS,
     ExperimentSetup,
@@ -247,6 +248,7 @@ def power_sweep(
     cache: ExperimentCache | None = None,
     timeout_s: float | None = None,
     executor: ParallelSweepExecutor | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> PowerSweep:
     """Run default / ARCS-Online / ARCS-Offline at each power level.
 
@@ -273,7 +275,11 @@ def power_sweep(
             history_path = None
             if cache is not None and strategy == "arcs-offline":
                 setup = ExperimentSetup(
-                    spec=spec, cap_w=cap_arg, repeats=repeats, seed=seed
+                    spec=spec,
+                    cap_w=cap_arg,
+                    repeats=repeats,
+                    seed=seed,
+                    fault_plan=fault_plan,
                 )
                 history_path = str(cache.history_path(app, setup))
             tasks.append(
@@ -285,6 +291,7 @@ def power_sweep(
                     repeats=repeats,
                     seed=seed,
                     history_path=history_path,
+                    fault_plan=fault_plan,
                 )
             )
             labels.append(label)

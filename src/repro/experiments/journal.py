@@ -1,0 +1,108 @@
+"""Crash-safe sweep journal: resume interrupted sweeps cell by cell.
+
+The result cache (:mod:`repro.experiments.cache`) already memoizes
+completed cells, but it is optional, shared across sweeps, and keyed
+only by experiment digest - it cannot say *which sweep* a result
+belongs to or whether a sweep finished.  The journal is the
+sweep-scoped complement: an append-only JSONL file where the executor
+records each completed cell (digest + full-fidelity result) the moment
+it finishes, flushed and fsynced so a ``kill -9`` never loses a
+completed cell.
+
+On resume (``ParallelSweepExecutor(..., resume=True)``) completed
+cells are served from the journal and only the remainder executes.
+Because results round-trip through the same serializer as the cache
+(floats via ``repr``), a killed-and-resumed sweep produces output
+byte-identical to an uninterrupted run at the same seed.
+
+A torn tail - the partial last line a crash can leave behind even
+with fsync (the crash may land mid-``write``) - is tolerated and
+truncated away on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.cache import result_from_json, result_to_json
+from repro.experiments.runner import StrategyRunResult
+
+#: bump when the journal line layout changes; mismatched lines are
+#: ignored on load (the cells simply re-run).
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only completed-cell log for one sweep invocation."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, StrategyRunResult]:
+        """Completed cells keyed by experiment digest.
+
+        Tolerant by construction: a missing file is an empty journal;
+        a torn or unparsable line (interrupted write) ends the scan -
+        everything before it is intact because lines are appended
+        atomically in order.
+        """
+        completed: dict[str, StrategyRunResult] = {}
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return completed
+        valid_bytes = 0
+        for raw in data.splitlines(keepends=True):
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                valid_bytes += len(raw)
+                continue
+            try:
+                blob = json.loads(line)
+                if (
+                    not isinstance(blob, dict)
+                    or blob.get("schema") != JOURNAL_SCHEMA_VERSION
+                ):
+                    valid_bytes += len(raw)
+                    continue
+                completed[blob["digest"]] = result_from_json(
+                    blob["result"]
+                )
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError, IndexError):
+                # torn tail from a crash mid-append: nothing after it
+                # was recorded.  Truncate it away so future appends
+                # land on an intact prefix, and re-run those cells.
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                break
+            valid_bytes += len(raw)
+        return completed
+
+    def append(
+        self, digest: str, label: str, result: StrategyRunResult
+    ) -> None:
+        """Record one completed cell durably (flush + fsync) so the
+        entry survives the process dying immediately after."""
+        line = json.dumps(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "digest": digest,
+                "task": label,
+                "result": result_to_json(result),
+            },
+            separators=(",", ":"),
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Start the journal over (a fresh, non-resumed sweep)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")

@@ -20,24 +20,54 @@ process, or replayed from the cache.
 
 from __future__ import annotations
 
+import functools
+import time
+import traceback
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
-from repro.core.history import HistoryStore
-from repro.experiments.cache import ExperimentCache
+from repro.core.history import CorruptHistoryError, HistoryStore
+from repro.experiments.cache import ExperimentCache, experiment_digest
+from repro.experiments.journal import SweepJournal
 from repro.experiments.runner import (
     ExperimentSetup,
     StrategyRunResult,
+    TuningDidNotConverge,
     run_strategy,
 )
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import DEFAULT_HANG_S, FaultPlan
 from repro.machine.spec import MachineSpec
 from repro.workloads.base import Application
 
 #: strategy aliases that replay a shared tuned history when one is
 #: attached to the task.
 _OFFLINE_STRATEGIES = ("arcs-offline", "offline")
+
+#: exception types that signal a *deterministic* failure: the same
+#: task spec will fail the same way on every attempt, so retrying
+#: only wastes a worker slot and delays the real error report.
+#: Everything else (``RuntimeError`` from a flaky measurement path,
+#: ``OSError`` from the pool plumbing, a worker crash) is treated as
+#: transient and retried.
+_FATAL_TYPES: tuple[type[BaseException], ...] = (
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    NotImplementedError,
+    TuningDidNotConverge,
+    CorruptHistoryError,
+)
+
+
+def _is_fatal(exc: BaseException) -> bool:
+    """Classify a task failure: fatal errors reproduce on retry."""
+    if isinstance(exc, FutureTimeoutError):
+        return False
+    return isinstance(exc, _FATAL_TYPES)
 
 
 @dataclass(frozen=True)
@@ -56,6 +86,9 @@ class SweepTask:
     #: path of the shared tuned history (offline cells only); ``None``
     #: keeps the old behaviour of an in-memory throwaway store.
     history_path: str | None = None
+    #: deterministic fault plan threaded into the cell's runtimes
+    #: (``None`` = clean).
+    fault_plan: FaultPlan | None = None
 
     def setup(self) -> ExperimentSetup:
         return ExperimentSetup(
@@ -65,6 +98,7 @@ class SweepTask:
             seed=self.seed,
             noise_sigma=self.noise_sigma,
             online_max_evals=self.online_max_evals,
+            fault_plan=self.fault_plan,
         )
 
     @property
@@ -91,23 +125,68 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     )
 
 
+class _InjectedWorkerCrash(RuntimeError):
+    """A ``sweep.worker``/``crash`` fault fired for this task (a
+    worker process dying mid-cell).  Subclasses RuntimeError, so the
+    executor classifies it as transient and retries - exactly how a
+    real worker death is handled."""
+
+
+def _injected_crash(
+    inner: Callable[[SweepTask], StrategyRunResult], task: SweepTask
+) -> StrategyRunResult:
+    raise _InjectedWorkerCrash(
+        f"injected worker crash for sweep task {task.label}"
+    )
+
+
+def _injected_hang(
+    inner: Callable[[SweepTask], StrategyRunResult],
+    hang_s: float,
+    task: SweepTask,
+) -> StrategyRunResult:
+    # a stuck worker: sleeps past the executor's timeout budget, then
+    # completes normally (the timeout, not this function, decides
+    # whether the attempt counts as failed).
+    time.sleep(hang_s)
+    return inner(task)
+
+
 class SweepTaskError(RuntimeError):
-    """A sweep cell failed (or timed out) on every allowed attempt."""
+    """A sweep cell failed: timed out / crashed on every allowed
+    attempt (``retryable=True``), or hit a deterministic error that
+    retrying cannot fix (``retryable=False``).  The worker's full
+    traceback rides along in ``worker_traceback`` so the failure site
+    inside the cell is not lost across the process boundary."""
 
     def __init__(
-        self, task: SweepTask, attempts: int, cause: BaseException
+        self,
+        task: SweepTask,
+        attempts: int,
+        cause: BaseException,
+        retryable: bool = True,
     ) -> None:
         self.task = task
         self.attempts = attempts
         self.cause = cause
-        reason = (
-            "timed out"
-            if isinstance(cause, FutureTimeoutError)
-            else f"raised {type(cause).__name__}: {cause}"
+        self.retryable = retryable
+        self.worker_traceback = "".join(
+            traceback.format_exception(
+                type(cause), cause, cause.__traceback__
+            )
+        )
+        if isinstance(cause, FutureTimeoutError):
+            reason = "timed out"
+        else:
+            reason = f"raised {type(cause).__name__}: {cause}"
+        detail = (
+            f"after {attempts} attempt(s)"
+            if retryable
+            else f"on attempt {attempts} (not retryable)"
         )
         super().__init__(
-            f"sweep task {task.label} {reason} after "
-            f"{attempts} attempt(s)"
+            f"sweep task {task.label} {reason} {detail}\n"
+            f"--- worker traceback ---\n{self.worker_traceback}"
         )
 
 
@@ -129,11 +208,30 @@ class ParallelSweepExecutor:
         attempt.  The stuck worker is abandoned, not killed, so pair
         timeouts with tasks that eventually terminate.
     retries:
-        Extra attempts per task after the first failure.
+        Extra attempts per task after the first *transient* failure.
+        Deterministic failures (:data:`_FATAL_TYPES`: bad parameters,
+        corrupt history, tuning that cannot converge) are raised
+        immediately - the same spec would fail identically on retry.
     task_fn:
         The function executed per task (default :func:`run_sweep_task`).
         Must be picklable (module-level) when ``max_workers > 1``;
         injectable for fault-injection tests.
+    journal:
+        Optional :class:`~repro.experiments.journal.SweepJournal`.
+        Every completed cell is appended durably; with ``resume=True``
+        cells already journaled are served from it instead of
+        re-running (a killed sweep picks up where it stopped).
+        Without ``resume`` the journal is cleared first.
+    resume:
+        Serve completed cells from the journal (requires ``journal``).
+    faults:
+        Optional :class:`~repro.faults.inject.FaultInjector` consulted
+        once per task submission at the ``sweep.worker`` site; a
+        ``crash`` fault makes that attempt die like a worker crash, a
+        ``hang`` fault stalls it past the timeout.  Drawn in the
+        parent process at submit time, so which attempt fails is a
+        deterministic function of the plan seed, never of pool
+        scheduling.
     """
 
     def __init__(
@@ -143,6 +241,9 @@ class ParallelSweepExecutor:
         timeout_s: float | None = None,
         retries: int = 1,
         task_fn: Callable[[SweepTask], StrategyRunResult] = run_sweep_task,
+        journal: SweepJournal | None = None,
+        resume: bool = False,
+        faults: FaultInjector | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(
@@ -150,23 +251,37 @@ class ParallelSweepExecutor:
             )
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if resume and journal is None:
+            raise ValueError("resume=True needs a journal")
         self.max_workers = max_workers
         self.cache = cache
         self.timeout_s = timeout_s
         self.retries = retries
         self.task_fn = task_fn
+        self.journal = journal
+        self.resume = resume
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[SweepTask]) -> list[StrategyRunResult]:
         """Execute ``tasks``; the result list is aligned with input
         order regardless of completion order."""
         tasks = list(tasks)
+        journaled: dict[str, StrategyRunResult] = {}
+        if self.journal is not None:
+            if self.resume:
+                journaled = self.journal.load()
+            else:
+                self.journal.clear()
+
         results: list[StrategyRunResult | None] = [None] * len(tasks)
         pending: list[int] = []
         for i, task in enumerate(tasks):
-            cached = self._cache_get(task)
-            if cached is not None:
-                results[i] = cached
+            done = journaled.get(self._digest(task))
+            if done is None:
+                done = self._cache_get(task)
+            if done is not None:
+                results[i] = done
             else:
                 pending.append(i)
 
@@ -186,26 +301,53 @@ class ParallelSweepExecutor:
         return out
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(task: SweepTask) -> str:
+        return experiment_digest(task.app, task.setup(), task.strategy)
+
     def _cache_get(self, task: SweepTask) -> StrategyRunResult | None:
         if self.cache is None:
             return None
         return self.cache.get(task.app, task.setup(), task.strategy)
 
-    def _cache_put(self, task: SweepTask, result: StrategyRunResult) -> None:
+    def _record(self, task: SweepTask, result: StrategyRunResult) -> None:
+        """Persist one completed cell everywhere it is memoized."""
         if self.cache is not None:
             self.cache.put(task.app, task.setup(), task.strategy, result)
+        if self.journal is not None:
+            self.journal.append(self._digest(task), task.label, result)
+
+    def _attempt_fn(
+        self, task: SweepTask
+    ) -> Callable[[SweepTask], StrategyRunResult]:
+        """The callable for one attempt of ``task``, with any
+        ``sweep.worker`` fault baked in.  Drawn here - in the parent,
+        at submit time - so the fault schedule is deterministic."""
+        if self.faults is None:
+            return self.task_fn
+        spec = self.faults.draw("sweep.worker")
+        if spec is None:
+            return self.task_fn
+        if spec.action == "crash":
+            return functools.partial(_injected_crash, self.task_fn)
+        hang_s = spec.magnitude or DEFAULT_HANG_S
+        return functools.partial(_injected_hang, self.task_fn, hang_s)
 
     def _run_inline(self, task: SweepTask) -> StrategyRunResult:
         attempt = 0
         while True:
             attempt += 1
             try:
-                result = self.task_fn(task)
+                result = self._attempt_fn(task)(task)
             except Exception as exc:
+                if _is_fatal(exc):
+                    raise SweepTaskError(
+                        task, attempt, exc, retryable=False
+                    ) from exc
                 if attempt > self.retries:
                     raise SweepTaskError(task, attempt, exc) from exc
             else:
-                self._cache_put(task, result)
+                self._record(task, result)
                 return result
 
     def _run_pool(
@@ -222,7 +364,7 @@ class ParallelSweepExecutor:
             # (task index, attempt number, future); failed attempts
             # append their retry to the end of the queue.
             inflight: list[tuple[int, int, Future]] = [
-                (i, 1, pool.submit(self.task_fn, tasks[i]))
+                (i, 1, pool.submit(self._attempt_fn(tasks[i]), tasks[i]))
                 for i in pending
             ]
             cursor = 0
@@ -232,6 +374,10 @@ class ParallelSweepExecutor:
                 try:
                     result = future.result(timeout=self.timeout_s)
                 except Exception as exc:
+                    if _is_fatal(exc):
+                        raise SweepTaskError(
+                            tasks[i], attempt, exc, retryable=False
+                        ) from exc
                     if attempt > self.retries:
                         raise SweepTaskError(
                             tasks[i], attempt, exc
@@ -240,12 +386,14 @@ class ParallelSweepExecutor:
                         (
                             i,
                             attempt + 1,
-                            pool.submit(self.task_fn, tasks[i]),
+                            pool.submit(
+                                self._attempt_fn(tasks[i]), tasks[i]
+                            ),
                         )
                     )
                 else:
                     results[i] = result
-                    self._cache_put(tasks[i], result)
+                    self._record(tasks[i], result)
             clean = True
         finally:
             # On failure, drop queued work and do not block on any

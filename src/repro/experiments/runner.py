@@ -20,7 +20,10 @@ from dataclasses import dataclass, field
 from repro.core.controller import ARCS
 from repro.core.history import HistoryStore, experiment_key
 from repro.core.overhead import OverheadReport
+from repro.faults.inject import make_injector
+from repro.faults.plan import FaultPlan
 from repro.machine.node import SimulatedNode
+from repro.machine.rapl import CapWriteRejectedError
 from repro.machine.spec import MachineSpec
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
@@ -65,6 +68,10 @@ class ExperimentSetup:
     seed: int = 0
     noise_sigma: float = 0.01
     online_max_evals: int = 40
+    #: deterministic fault-injection plan (None / empty plan = clean
+    #: run); each run of the experiment gets its own injector, salted
+    #: by the run index so repeats draw independent fault streams.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -103,27 +110,56 @@ class StrategyRunResult:
     chosen_configs: dict[str, OMPConfig] = field(default_factory=dict)
     overhead: OverheadReport | None = None
     tuning_runs: int = 0
+    #: sorted union of every degradation recorded across the repeats:
+    #: per-run measurement notes plus per-region tuning fallbacks.
+    #: Empty means the measurement ran clean end to end.
+    degradations: tuple[str, ...] = ()
 
     @property
     def representative(self) -> AppRunResult:
         return self.runs[-1]
 
 
+#: attempts per power-cap write before degrading to an uncapped run.
+_CAP_WRITE_ATTEMPTS = 3
+
+
 def fresh_runtime(
     setup: ExperimentSetup, run_index: int = 0
 ) -> OpenMPRuntime:
-    """A new node + runtime with the power cap applied and settled."""
-    node = SimulatedNode(setup.spec)
+    """A new node + runtime with the power cap applied and settled.
+
+    Cap writes are retried against injected/transient rejections; if
+    the cap cannot be applied at all the run proceeds *uncapped* with a
+    degradation note rather than crashing (the paper's harness kept
+    going when msr-safe hiccuped) - but never silently, which would
+    report "capped" results that actually ran at TDP.
+    """
+    node = SimulatedNode(
+        setup.spec,
+        faults=make_injector(setup.fault_plan, salt=run_index),
+    )
     runtime = OpenMPRuntime(
         node,
         seed=derive_seed(setup.seed, "run", run_index),
         noise_sigma=setup.noise_sigma,
     )
     if setup.cap_w is not None:
-        # ExperimentSetup guarantees the spec supports capping; a
-        # silently-ignored cap here used to report "capped" results
-        # that actually ran at TDP.
-        node.set_power_cap(setup.cap_w)
+        # ExperimentSetup guarantees the spec supports capping.
+        last: CapWriteRejectedError | None = None
+        for _ in range(_CAP_WRITE_ATTEMPTS):
+            try:
+                node.set_power_cap(setup.cap_w)
+                break
+            except CapWriteRejectedError as exc:
+                last = exc
+                node.settle_after_cap()  # back off before retrying
+        else:
+            runtime.degradations.append(
+                f"power cap {setup.cap_w:g} W could not be applied "
+                f"after {_CAP_WRITE_ATTEMPTS} attempts ({last}); "
+                "running uncapped"
+            )
         node.settle_after_cap()
     return runtime
 
@@ -134,12 +170,35 @@ def _summarize(
     time_s = summarize_runs(
         [r.time_s for r in results], setup.summary_mode
     )
-    if results[0].energy_j is None:
+    if any(r.energy_j is None for r in results):
+        # no counters on this machine, or a run degraded to time-only
+        # after persistent RAPL read failures; a summary over a partial
+        # sample would misrepresent the energy, so report none.
         return time_s, None
     energy_j = summarize_runs(
         [r.energy_j for r in results], setup.summary_mode  # type: ignore[misc]
     )
     return time_s, energy_j
+
+
+def _collect_degradations(
+    results: list[AppRunResult], *extra_sources: dict[str, str] | list[str]
+) -> tuple[str, ...]:
+    """Sorted union of degradation notes across runs plus per-region
+    tuning fallbacks / bridge notes from extra sources."""
+    notes: set[str] = set()
+    for result in results:
+        notes.update(result.degraded)
+    for source in extra_sources:
+        if isinstance(source, dict):
+            notes.update(
+                f"region {name}: {reason}; fell back to default "
+                "configuration"
+                for name, reason in source.items()
+            )
+        else:
+            notes.update(source)
+    return tuple(sorted(notes))
 
 
 # ---------------------------------------------------------------------------
@@ -161,6 +220,7 @@ def run_default(
         time_s=time_s,
         energy_j=energy_j,
         runs=tuple(results),
+        degradations=_collect_degradations(results),
     )
 
 
@@ -178,6 +238,9 @@ def run_arcs_online(
     results = []
     configs: dict[str, OMPConfig] = {}
     overhead: OverheadReport | None = None
+    fallbacks: dict[str, str] = {}
+    bridge_notes: list[str] = []
+    dropouts = 0
     for r in range(setup.repeats):
         runtime = fresh_runtime(setup, run_index=r)
         arcs = ARCS(
@@ -191,7 +254,15 @@ def run_arcs_online(
         results.append(run_application(app, runtime))
         configs = arcs.chosen_configs()
         overhead = arcs.overhead_report()
+        fallbacks.update(arcs.degradations())
+        dropouts += arcs.bridge.timer_dropouts
         arcs.finalize()
+    if dropouts:
+        bridge_notes.append(
+            f"{dropouts} OMPT timer event(s) dropped across "
+            f"{setup.repeats} run(s); affected executions ran "
+            "unmeasured"
+        )
     time_s, energy_j = _summarize(setup, results)
     return StrategyRunResult(
         strategy="arcs-online"
@@ -205,6 +276,9 @@ def run_arcs_online(
         runs=tuple(results),
         chosen_configs=configs,
         overhead=overhead,
+        degradations=_collect_degradations(
+            results, fallbacks, bridge_notes
+        ),
     )
 
 
@@ -225,6 +299,7 @@ def run_arcs_offline(
         app.name, setup.spec.name, setup.cap_w, app.workload
     )
     tuning_runs = 0
+    fallbacks: dict[str, str] = {}
     if not history.has(key):
         runtime = fresh_runtime(setup, run_index=1000)
         arcs = ARCS(
@@ -240,6 +315,7 @@ def run_arcs_offline(
             tuning_runs += 1
             if arcs.converged:
                 break
+        fallbacks.update(arcs.degradations())
         arcs.finalize()
         if not history.has(key):
             raise TuningDidNotConverge(key, tuning_runs)
@@ -271,6 +347,7 @@ def run_arcs_offline(
         chosen_configs=history.load(key),
         overhead=overhead,
         tuning_runs=tuning_runs,
+        degradations=_collect_degradations(results, fallbacks),
     )
 
 

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the ARCS reproduction.
+
+Models the measurement-stack failure modes the paper's Section IV-D
+calls the "known issues of RAPL" (and their harness-level cousins):
+flaky counter reads, stale/wrapping counters, rejected cap writes,
+dropped OMPT timer events, timing-noise spikes, and crashed or hung
+sweep workers.  See :mod:`repro.faults.plan` for the site/action
+catalogue and :mod:`repro.faults.inject` for runtime semantics.
+"""
+
+from repro.faults.inject import FaultEvent, FaultInjector, make_injector
+from repro.faults.plan import (
+    DEFAULT_HANG_S,
+    DEFAULT_SPIKE_FACTOR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    load_fault_plan,
+    save_fault_plan,
+)
+
+__all__ = [
+    "DEFAULT_HANG_S",
+    "DEFAULT_SPIKE_FACTOR",
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "load_fault_plan",
+    "make_injector",
+    "save_fault_plan",
+]

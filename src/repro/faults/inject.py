@@ -1,0 +1,92 @@
+"""The fault injector: deterministic runtime evaluation of a plan.
+
+Each injection point in the stack (RAPL reads, cap writes, OMPT timer
+events, the sweep executor) owns one line of code::
+
+    spec = injector.draw("rapl.read")
+    if spec is not None:
+        ...misbehave according to spec.action...
+
+``draw`` keeps a per-site occurrence counter; whether occurrence *n*
+at a site fires is a pure function of ``(plan.seed, salt, site, spec
+index, n)``, so a faulted run replays bit-for-bit given the same plan
+- the property every robustness test leans on.  The injector also logs
+every fired fault as a :class:`FaultEvent` for assertions and
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.util.rng import rng_for
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault (for logs and test assertions)."""
+
+    site: str
+    action: str
+    occurrence: int
+
+
+@dataclass
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at runtime.
+
+    ``salt`` decorrelates probability draws between otherwise identical
+    injectors (e.g. the per-repeat runtimes of one experiment) while
+    keeping each stream deterministic.
+    """
+
+    plan: FaultPlan
+    salt: object = 0
+    _counters: dict[str, int] = field(default_factory=dict)
+    _fires: dict[int, int] = field(default_factory=dict)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def draw(self, site: str) -> FaultSpec | None:
+        """Advance the site's occurrence counter; return the first armed
+        spec that fires for this occurrence, or ``None``."""
+        n = self._counters.get(site, 0)
+        self._counters[site] = n + 1
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or n < spec.start:
+                continue
+            if (
+                spec.max_fires is not None
+                and self._fires.get(index, 0) >= spec.max_fires
+            ):
+                continue
+            if spec.probability < 1.0:
+                rng = rng_for(
+                    self.plan.seed, "fault", self.salt, site, index, n
+                )
+                if rng.random() >= spec.probability:
+                    continue
+            self._fires[index] = self._fires.get(index, 0) + 1
+            self.events.append(FaultEvent(site, spec.action, n))
+            return spec
+        return None
+
+    def occurrences(self, site: str) -> int:
+        """How many times ``site`` has been polled so far."""
+        return self._counters.get(site, 0)
+
+    def fired(self, site: str | None = None) -> int:
+        """Total faults fired (optionally restricted to one site)."""
+        if site is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.site == site)
+
+
+def make_injector(
+    plan: FaultPlan | None, salt: object = 0
+) -> FaultInjector | None:
+    """Injector for ``plan``, or ``None`` for empty/absent plans (the
+    fast path: components skip fault checks entirely)."""
+    if plan is None or not plan.specs:
+        return None
+    return FaultInjector(plan, salt=salt)

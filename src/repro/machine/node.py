@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.inject import FaultInjector
 from repro.machine.cache import CacheModel
 from repro.machine.frequency import FrequencyModel
 from repro.machine.memory import MemoryModel
@@ -35,8 +36,13 @@ class NodePowerView:
 class SimulatedNode:
     """A power-cappable multicore node with a simulation clock."""
 
-    def __init__(self, spec: MachineSpec) -> None:
+    def __init__(
+        self, spec: MachineSpec, faults: FaultInjector | None = None
+    ) -> None:
         self.spec = spec
+        #: fault injector consulted by the RAPL layer and (via the
+        #: OMPT bridge) the APEX measurement path; ``None`` = clean.
+        self.faults = faults
         self.topology = Topology(spec)
         self.frequency = FrequencyModel(spec)
         self.power = PowerModel(spec)
@@ -49,7 +55,7 @@ class SimulatedNode:
         )
         self.memory = MemoryModel(spec)
         self.msr = MsrFile(spec.sockets)
-        self.rapl = Rapl(spec, self.msr)
+        self.rapl = Rapl(spec, self.msr, faults=faults)
         self._now_s = 0.0
         #: userspace-governor frequency ceiling (None = hardware
         #: managed).  The paper's future work: "Currently, we are not
@@ -142,6 +148,21 @@ class SimulatedNode:
             for s in range(self.spec.sockets)
         )
 
+    def energy_delta_j(self, before_j: float, after_j: float) -> float:
+        """Energy consumed between two counter reads, corrected for a
+        32-bit wraparound the unwrap bookkeeping missed.
+
+        Mirrors the classic RAPL delta fix: a reading smaller than its
+        predecessor means the counter rolled over between the reads, so
+        whole counter spans are added back until the delta is
+        non-negative.
+        """
+        delta = after_j - before_j
+        span = self.rapl.counter_span_j(0)
+        while delta < 0 and span > 0:
+            delta += span
+        return delta
+
     def read_dram_energy_j(self) -> float:
         """Node-total DRAM-domain energy (the future-work memory-power
         accounting)."""
@@ -163,8 +184,10 @@ class SimulatedNode:
         )
 
     def reset(self) -> None:
-        """Fresh clock, counters and caps (a 'reboot' between runs)."""
+        """Fresh clock, counters and caps (a 'reboot' between runs).
+        The fault injector, if any, stays armed - rebooting does not
+        fix flaky hardware."""
         self.msr = MsrFile(self.spec.sockets)
-        self.rapl = Rapl(self.spec, self.msr)
+        self.rapl = Rapl(self.spec, self.msr, faults=self.faults)
         self._now_s = 0.0
         self.frequency_limit_ghz = None

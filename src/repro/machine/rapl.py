@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.faults.inject import FaultInjector
 from repro.machine.msr import (
     MSR_DRAM_ENERGY_STATUS,
     MSR_PKG_ENERGY_STATUS,
@@ -36,6 +37,36 @@ from repro.machine.spec import MachineSpec
 from repro.util.validation import require_nonnegative, require_positive
 
 _COUNTER_BITS = 32
+
+
+class RaplReadError(OSError):
+    """An energy-counter read failed (the msr-safe driver returning
+    ``EIO``/``EAGAIN`` under contention).  Injectable via the
+    ``rapl.read``/``error`` fault; harnesses retry a bounded number of
+    times and degrade to time-only measurement if reads stay broken."""
+
+    def __init__(self, domain: "RaplDomain", socket: int) -> None:
+        self.domain = domain
+        self.socket = socket
+        super().__init__(
+            f"RAPL {domain.value} energy read failed on socket {socket}"
+        )
+
+
+class CapWriteRejectedError(OSError):
+    """A package power-limit write was rejected (locked limit register,
+    transient msr-safe failure).  Injectable via ``rapl.cap_write``/
+    ``reject``; distinct from :class:`PermissionError` on machines that
+    never allow capping."""
+
+    def __init__(self, cap_w: float | None, socket: int) -> None:
+        self.cap_w = cap_w
+        self.socket = socket
+        cap = "TDP" if cap_w is None else f"{cap_w:g} W"
+        super().__init__(
+            f"package power-limit write ({cap}) rejected on socket "
+            f"{socket}"
+        )
 
 
 class RaplDomain(Enum):
@@ -73,8 +104,12 @@ class Rapl:
     msr: MsrFile
     update_interval_s: float = 1.0e-3
     cap_settle_s: float = 10.0e-3
+    faults: FaultInjector | None = None
     _caps: list[_CapState] = field(default_factory=list)
     _energy: dict[tuple[RaplDomain, int], _EnergyAccount] = field(
+        default_factory=dict
+    )
+    _last_read_j: dict[tuple[RaplDomain, int], float] = field(
         default_factory=dict
     )
 
@@ -106,6 +141,10 @@ class Rapl:
         if cap_w is not None:
             require_positive("cap_w", cap_w)
         targets = range(self.spec.sockets) if socket is None else [socket]
+        if self.faults is not None:
+            spec = self.faults.draw("rapl.cap_write")
+            if spec is not None and spec.action == "reject":
+                raise CapWriteRejectedError(cap_w, next(iter(targets)))
         for s in targets:
             state = self._caps[s]
             state.pending_cap_w = cap_w
@@ -168,6 +207,15 @@ class Rapl:
             self.msr.bump_counter(socket, address, units)
             account.wraps += (before + units) >> _COUNTER_BITS
 
+    def counter_span_j(self, socket: int = 0) -> float:
+        """Energy covered by one full revolution of the 32-bit counter
+        (~65536 J at the default 2^-16 J unit) - the correction quantum
+        for a read that observes a wrap before the unwrap bookkeeping
+        does."""
+        return (1 << _COUNTER_BITS) / self.msr.energy_units_per_joule(
+            socket
+        )
+
     def _read_energy_j(self, domain: RaplDomain, socket: int) -> float:
         if not self.spec.supports_energy_counters:
             raise PermissionError(
@@ -177,7 +225,22 @@ class Rapl:
         raw = self.msr.read(socket, _DOMAIN_MSR[domain])
         units_per_j = self.msr.energy_units_per_joule(socket)
         total_units = account.wraps * (1 << _COUNTER_BITS) + raw
-        return total_units / units_per_j
+        value = total_units / units_per_j
+        if self.faults is not None:
+            spec = self.faults.draw("rapl.read")
+            if spec is not None:
+                if spec.action == "error":
+                    raise RaplReadError(domain, socket)
+                if spec.action == "stale":
+                    # the counter has not refreshed since the last read
+                    return self._last_read_j.get((domain, socket), 0.0)
+                if spec.action == "wraparound":
+                    # a read racing a 32-bit wrap: the raw counter has
+                    # already rolled over but the wrap has not been
+                    # accounted, so the value appears one span behind
+                    return value - self.counter_span_j(socket)
+        self._last_read_j[(domain, socket)] = value
+        return value
 
     def read_package_energy_j(self, socket: int) -> float:
         """Package-domain energy in joules, unwrapping the counter.

@@ -64,6 +64,10 @@ class OpenMPRuntime:
         self._call_index = 0
         self.config_change_time_s = 0.0
         self.config_change_calls = 0
+        #: notes appended by harnesses when a fault forced them off the
+        #: intended measurement path (e.g. a power cap that could not be
+        #: applied); surfaced in the run result's degradations.
+        self.degradations: list[str] = []
 
     # ------------------------------------------------------------------
     # the omp_* runtime-library surface

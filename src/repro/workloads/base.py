@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.machine.rapl import RaplReadError
 from repro.openmp.records import RegionExecutionRecord, RegionTotals
 from repro.openmp.region import RegionProfile
 from repro.openmp.runtime import OpenMPRuntime
@@ -99,9 +100,36 @@ class AppRunResult:
     region_totals: dict[str, RegionTotals]
     region_miss_rates: dict[str, tuple[float, float, float]]
     total_region_calls: int
+    #: measurement degradations hit during this run (persistent RAPL
+    #: read failures, wraparound corrections); empty for a clean run.
+    degraded: tuple[str, ...] = ()
 
     def total_barrier_s(self) -> float:
         return sum(t.barrier_s for t in self.region_totals.values())
+
+
+#: attempts per RAPL energy read before degrading to time-only.
+_ENERGY_READ_ATTEMPTS = 3
+
+
+def _read_energy(
+    node, notes: list[str], when: str
+) -> float | None:
+    """One harness-side energy read, retried against transient
+    :class:`RaplReadError`; ``None`` (with a note) when reads stay
+    broken - the run then reports time only rather than crashing or
+    publishing garbage energy."""
+    last: RaplReadError | None = None
+    for _ in range(_ENERGY_READ_ATTEMPTS):
+        try:
+            return node.read_package_energy_j()
+        except RaplReadError as exc:
+            last = exc
+    notes.append(
+        f"energy read at run {when} failed "
+        f"{_ENERGY_READ_ATTEMPTS} times ({last}); energy not reported"
+    )
+    return None
 
 
 def run_application(
@@ -115,8 +143,9 @@ def run_application(
     """
     node = runtime.node
     has_energy = node.spec.supports_energy_counters
+    notes: list[str] = []
     t0 = node.now_s
-    e0 = node.read_package_energy_j() if has_energy else 0.0
+    e0 = _read_energy(node, notes, "start") if has_energy else None
 
     acc: dict[str, _RegionAccumulator] = {}
     calls = 0
@@ -129,9 +158,20 @@ def run_application(
                 calls += 1
 
     time_s = node.now_s - t0
-    energy_j = (
-        node.read_package_energy_j() - e0 if has_energy else None
-    )
+    energy_j: float | None = None
+    if has_energy and e0 is not None:
+        e1 = _read_energy(node, notes, "end")
+        if e1 is not None:
+            if e1 < e0:
+                # the counter wrapped (or a read raced a wrap) between
+                # the endpoints; correct by whole counter spans.
+                notes.append(
+                    "energy counter wrapped during run; delta "
+                    "corrected by counter span"
+                )
+                energy_j = node.energy_delta_j(e0, e1)
+            else:
+                energy_j = e1 - e0
     totals = {
         name: RegionTotals(
             region_name=name,
@@ -159,4 +199,5 @@ def run_application(
         region_totals=totals,
         region_miss_rates=miss_rates,
         total_region_calls=calls,
+        degraded=tuple(notes + runtime.degradations),
     )
