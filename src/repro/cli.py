@@ -14,10 +14,19 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 
+from repro.core.capschedule import (
+    CapSchedule,
+    CapScheduleError,
+    load_cap_schedule,
+)
+from repro.core.checkpoint import CheckpointError
 from repro.core.history import HistoryStore
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.experiments.figures import power_sweep
-from repro.experiments.journal import SweepJournal
+from repro.experiments.journal import (
+    JournalHeaderMismatchError,
+    SweepJournal,
+)
 from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.reporting import render_sweep, render_table1
 from repro.experiments.runner import (
@@ -27,6 +36,7 @@ from repro.experiments.runner import (
 )
 from repro.faults.inject import make_injector
 from repro.faults.plan import FaultPlan, FaultPlanError, load_fault_plan
+from repro.supervise import RunAbortedError
 from repro.experiments.tables import table1_search_space
 from repro.machine.spec import machine_by_name
 from repro.util.tables import format_table
@@ -71,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", default=None, metavar="PLAN.JSON",
                      help="fault-injection plan (see examples/"
                           "faultplan.json); omit for a clean run")
+    run.add_argument("--cap-schedule", default=None,
+                     metavar="SCHED.JSON",
+                     help="dynamic power-cap schedule (see examples/"
+                          "capschedule.json); changes the cap mid-run")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="write a resumable checkpoint after every "
+                          "region measurement (arcs-online only)")
+    run.add_argument("--resume-from", default=None, metavar="PATH",
+                     help="resume an interrupted arcs-online run from "
+                          "a checkpoint written by --checkpoint")
 
     sweep = sub.add_parser(
         "sweep",
@@ -133,7 +153,19 @@ def _load_faults(path: str | None) -> FaultPlan | None:
         return None
     try:
         return load_fault_plan(path)
-    except FaultPlanError as exc:
+    except (FaultPlanError, OSError) as exc:
+        # load_fault_plan wraps file errors, but keep OSError here too
+        # so an unanticipated filesystem failure still surfaces as one
+        # actionable line instead of a traceback.
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _load_capsched(path: str | None) -> CapSchedule | None:
+    if path is None:
+        return None
+    try:
+        return load_cap_schedule(path)
+    except (CapScheduleError, OSError) as exc:
         raise SystemExit(f"error: {exc}") from exc
 
 
@@ -144,13 +176,27 @@ def _cmd_run(args: argparse.Namespace) -> str:
         setup = ExperimentSetup(
             spec=spec, cap_w=args.cap, repeats=args.repeats,
             seed=args.seed, fault_plan=_load_faults(args.faults),
+            cap_schedule=_load_capsched(args.cap_schedule),
         )
     except ValueError as exc:
         # e.g. --cap on a machine without capping privilege, or
         # --repeats 0: refuse loudly instead of mis-reporting.
         raise SystemExit(f"error: {exc}") from exc
     history = HistoryStore(args.history) if args.history else None
-    result = run_strategy(args.strategy, app, setup, history=history)
+    try:
+        result = run_strategy(
+            args.strategy, app, setup, history=history,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume_from,
+        )
+    except CheckpointError as exc:
+        # unreadable / mismatched checkpoint: actionable, not a bug
+        raise SystemExit(f"error: {exc}") from exc
+    except RunAbortedError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except ValueError as exc:
+        # e.g. --checkpoint with a non-online strategy
+        raise SystemExit(f"error: {exc}") from exc
     cap = "TDP" if args.cap is None else f"{args.cap:g}W"
     lines = [
         f"{app.label} on {spec.name} @ {cap}, {args.strategy} "
@@ -170,6 +216,11 @@ def _cmd_run(args: argparse.Namespace) -> str:
             f"instrumentation "
             f"{result.overhead.instrumentation_s * 1e3:.1f} ms, "
             f"search {result.overhead.search_s * 1e3:.1f} ms"
+        )
+    if result.cap_changes:
+        lines.append("  cap changes:")
+        lines.extend(
+            f"    - {change}" for change in result.cap_changes
         )
     if result.degradations:
         lines.append("  degradations:")
@@ -206,11 +257,14 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         resume=args.resume,
         faults=make_injector(fault_plan),
     )
-    sweep = power_sweep(
-        app, spec, caps, repeats=args.repeats, seed=args.seed,
-        workers=args.workers, cache=cache, executor=executor,
-        fault_plan=fault_plan,
-    )
+    try:
+        sweep = power_sweep(
+            app, spec, caps, repeats=args.repeats, seed=args.seed,
+            workers=args.workers, cache=cache, executor=executor,
+            fault_plan=fault_plan,
+        )
+    except JournalHeaderMismatchError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     lines = [
         render_sweep(
             sweep, f"{app.label} on {spec.name}: strategy comparison"

@@ -13,11 +13,10 @@ and its measured objective.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 
 from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.util.atomicio import atomic_write_text
 
 
 class HistoryKeyMissing(KeyError):
@@ -150,21 +149,7 @@ class HistoryStore:
         half-written history behind."""
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(self._data, indent=2)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self.path, json.dumps(self._data, indent=2))
 
 
 def experiment_key(

@@ -85,6 +85,11 @@ class RegionTuningState:
     #: why tuning gave up on this region (``None`` = healthy); when
     #: set, the region runs the default configuration from then on.
     degraded: str | None = None
+    #: the resolved start point the session was created with (the warm
+    #: start, or the policy default).  Recorded so a checkpoint restore
+    #: can rebuild the session identically without re-running the
+    #: warm-start lookup against a different regions dict.
+    session_start: tuple[int, ...] | None = None
 
 
 class ArcsPolicy(Policy):
@@ -134,6 +139,10 @@ class ArcsPolicy(Policy):
         self.cap_aware = cap_aware
         self.seed = seed
         self.regions: dict[str, RegionTuningState] = {}
+        #: regions the watchdog pinned to the default configuration
+        #: (region name -> reason).  A pinned region is never tuned
+        #: again for the rest of the run, at any power level.
+        self._pinned: dict[str, str] = {}
         self._start_point = default_start_point(
             runtime.node.spec, self.space
         )
@@ -169,6 +178,13 @@ class ArcsPolicy(Policy):
             self._apply(state, config)
             return
 
+        pin = self._pinned.get(context.timer_name)
+        if pin is not None:
+            if state.degraded is None:
+                state.degraded = pin
+            self._apply(state, self._default_config())
+            return
+
         if state.skipped:
             return
 
@@ -180,9 +196,11 @@ class ArcsPolicy(Policy):
                 # selective mode measures the first call with the
                 # current config before deciding whether to tune
                 return
-            state.session = self._new_session(
-                key, start=self._warm_start(context.timer_name)
+            start = self._warm_start(context.timer_name)
+            state.session_start = (
+                start if start is not None else self._start_point
             )
+            state.session = self._new_session(key, start=start)
 
         if state.session.failed:
             # degraded mode: tuning could not produce a trusted
@@ -236,21 +254,49 @@ class ArcsPolicy(Policy):
     # ------------------------------------------------------------------
     def _warm_start(self, region_name: str) -> tuple[int, ...] | None:
         """In cap-aware mode, seed a new power level's search with the
-        best configuration found for the same region at the previous
-        level - optima shift with the cap but rarely jump far, so the
-        re-tuning search converges much faster."""
+        best configuration found for the same region at the *nearest*
+        already-tuned power level - optima shift with the cap but
+        rarely jump far, so the closer the donor level, the faster the
+        re-tuning search converges.  Ties prefer the lower cap (its
+        optimum is the conservative choice under a tighter budget)."""
         if not self.cap_aware:
             return None
-        best: tuple[int, ...] | None = None
+        current = self.runtime.node.rapl.effective_cap_w(
+            0, self.runtime.node.now_s
+        )
+        tdp_w = self.runtime.node.spec.tdp_w
+        current_w = tdp_w if current is None else current
+        candidates: list[tuple[float, float, tuple[int, ...]]] = []
         for key, state in self.regions.items():
-            if key.split("@")[0] != region_name:
+            name, sep, cap_label = key.rpartition("@")
+            if not sep or name != region_name:
                 continue
             if state.session is None:
                 continue
             point = state.session.best_point()
-            if point is not None:
-                best = self.space.encode(point)
-        return best
+            if point is None:
+                continue
+            cap_w = (
+                tdp_w if cap_label == "tdp" else float(cap_label[:-1])
+            )
+            candidates.append(
+                (abs(cap_w - current_w), cap_w, self.space.encode(point))
+            )
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        return candidates[0][2]
+
+    def pin_region(self, region_name: str, reason: str) -> None:
+        """Permanently pin ``region_name`` to the default configuration
+        (the watchdog's second escalation rung).  Applies across every
+        power level, including levels not yet encountered."""
+        self._pinned[region_name] = reason
+        for key, state in self.regions.items():
+            if key.split("@")[0] != region_name:
+                continue
+            if state.degraded is None:
+                state.degraded = reason
 
     def _default_config(self) -> OMPConfig:
         return default_config(self.runtime.node.spec.total_hw_threads)

@@ -23,16 +23,22 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.overhead import OverheadReport
 from repro.experiments.runner import ExperimentSetup, StrategyRunResult
-from repro.openmp.records import RegionTotals
-from repro.openmp.types import OMPConfig, ScheduleKind
-from repro.workloads.base import Application, AppRunResult
+from repro.experiments.serialize import (
+    app_fingerprint,
+    config_from_json as _config_from_json,
+    config_to_json as _config_to_json,
+    overhead_from_json as _overhead_from_json,
+    overhead_to_json as _overhead_to_json,
+    run_from_json as _run_from_json,
+    run_to_json as _run_to_json,
+)
+from repro.faults.plan import plan_fingerprint
+from repro.util.atomicio import atomic_write_text
+from repro.workloads.base import Application
 
 #: bump whenever the digest inputs or the serialized result layout
 #: change; stale entries become cache misses.
@@ -45,27 +51,21 @@ DEFAULT_CACHE_DIR = Path("results") / ".cache"
 # ---------------------------------------------------------------------------
 # digesting
 # ---------------------------------------------------------------------------
-def app_fingerprint(app: Application) -> str:
-    """A deterministic content fingerprint of an application.
-
-    ``repr`` of the frozen dataclass tree covers every region profile
-    field, so two apps sharing a (name, workload) label but differing
-    in timesteps or region characterization never collide.
-    """
-    return hashlib.sha256(repr(app).encode()).hexdigest()[:16]
-
-
 def _fault_fingerprint(setup: ExperimentSetup) -> str | None:
     """Fingerprint of the setup's fault plan, or ``None`` for clean
     setups.  Returning ``None`` (and omitting the key entirely) keeps
     every pre-existing clean-run digest byte-identical."""
-    plan = setup.fault_plan
-    if plan is None or not plan:
+    return plan_fingerprint(setup.fault_plan)
+
+
+def _capsched_fingerprint(setup: ExperimentSetup) -> str | None:
+    """Fingerprint of the setup's cap schedule, or ``None`` when the
+    cap is static - omitted from digests so pre-existing static-cap
+    digests stay byte-identical."""
+    schedule = setup.cap_schedule
+    if schedule is None or not schedule:
         return None
-    blob = json.dumps(
-        plan.to_json(), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return schedule.fingerprint()
 
 
 def experiment_digest(
@@ -93,6 +93,9 @@ def experiment_digest(
     faults = _fault_fingerprint(setup)
     if faults is not None:
         key["faults"] = faults
+    capsched = _capsched_fingerprint(setup)
+    if capsched is not None:
+        key["capsched"] = capsched
     blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -124,102 +127,10 @@ def tuning_digest(app: Application, setup: ExperimentSetup) -> str:
 # ---------------------------------------------------------------------------
 # StrategyRunResult <-> JSON
 # ---------------------------------------------------------------------------
-def _config_to_json(config: OMPConfig) -> dict:
-    return {
-        "n_threads": config.n_threads,
-        "schedule": config.schedule.value,
-        "chunk": config.chunk,
-    }
-
-
-def _config_from_json(blob: dict) -> OMPConfig:
-    return OMPConfig(
-        n_threads=int(blob["n_threads"]),
-        schedule=ScheduleKind(blob["schedule"]),
-        chunk=None if blob["chunk"] is None else int(blob["chunk"]),
-    )
-
-
-def _totals_to_json(totals: RegionTotals) -> dict:
-    return {
-        "region_name": totals.region_name,
-        "calls": totals.calls,
-        "implicit_task_s": totals.implicit_task_s,
-        "loop_s": totals.loop_s,
-        "barrier_s": totals.barrier_s,
-        "energy_j": totals.energy_j,
-    }
-
-
-def _totals_from_json(blob: dict) -> RegionTotals:
-    return RegionTotals(
-        region_name=blob["region_name"],
-        calls=int(blob["calls"]),
-        implicit_task_s=blob["implicit_task_s"],
-        loop_s=blob["loop_s"],
-        barrier_s=blob["barrier_s"],
-        energy_j=blob["energy_j"],
-    )
-
-
-def _run_to_json(run: AppRunResult) -> dict:
-    return {
-        "app_label": run.app_label,
-        "time_s": run.time_s,
-        "energy_j": run.energy_j,
-        "region_totals": {
-            name: _totals_to_json(t)
-            for name, t in run.region_totals.items()
-        },
-        "region_miss_rates": {
-            name: list(rates)
-            for name, rates in run.region_miss_rates.items()
-        },
-        "total_region_calls": run.total_region_calls,
-        "degraded": list(run.degraded),
-    }
-
-
-def _run_from_json(blob: dict) -> AppRunResult:
-    return AppRunResult(
-        app_label=blob["app_label"],
-        time_s=blob["time_s"],
-        energy_j=blob["energy_j"],
-        region_totals={
-            name: _totals_from_json(t)
-            for name, t in blob["region_totals"].items()
-        },
-        region_miss_rates={
-            name: (rates[0], rates[1], rates[2])
-            for name, rates in blob["region_miss_rates"].items()
-        },
-        total_region_calls=int(blob["total_region_calls"]),
-        degraded=tuple(blob.get("degraded", ())),
-    )
-
-
-def _overhead_to_json(overhead: OverheadReport | None) -> dict | None:
-    if overhead is None:
-        return None
-    return {
-        "config_change_s": overhead.config_change_s,
-        "config_change_calls": overhead.config_change_calls,
-        "instrumentation_s": overhead.instrumentation_s,
-        "search_s": overhead.search_s,
-    }
-
-
-def _overhead_from_json(blob: dict | None) -> OverheadReport | None:
-    if blob is None:
-        return None
-    return OverheadReport(
-        config_change_s=blob["config_change_s"],
-        config_change_calls=int(blob["config_change_calls"]),
-        instrumentation_s=blob["instrumentation_s"],
-        search_s=blob["search_s"],
-    )
-
-
+# The sub-object codecs (_config_to_json and friends, imported above)
+# live in repro.experiments.serialize so the run-checkpoint layer can
+# share them; the StrategyRunResult codec stays here because it needs
+# the runner's types and the cache schema version.
 def result_to_json(result: StrategyRunResult) -> dict:
     """Full-fidelity JSON form of a result (floats round-trip exactly
     through ``json`` because Python serializes them via ``repr``)."""
@@ -238,6 +149,7 @@ def result_to_json(result: StrategyRunResult) -> dict:
         "overhead": _overhead_to_json(result.overhead),
         "tuning_runs": result.tuning_runs,
         "degradations": list(result.degradations),
+        "cap_changes": list(result.cap_changes),
     }
 
 
@@ -257,6 +169,7 @@ def result_from_json(blob: dict) -> StrategyRunResult:
         overhead=_overhead_from_json(blob["overhead"]),
         tuning_runs=int(blob["tuning_runs"]),
         degradations=tuple(blob.get("degradations", ())),
+        cap_changes=tuple(blob.get("cap_changes", ())),
     )
 
 
@@ -340,7 +253,6 @@ class ExperimentCache:
         result: StrategyRunResult,
     ) -> Path:
         path = self.result_path(app, setup, strategy)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
             {
                 "schema": CACHE_SCHEMA_VERSION,
@@ -352,19 +264,7 @@ class ExperimentCache:
             },
             indent=2,
         )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, payload)
         self.stats.writes += 1
         return path
 

@@ -34,8 +34,20 @@ from repro.experiments.runner import StrategyRunResult
 JOURNAL_SCHEMA_VERSION = 1
 
 
+class JournalHeaderMismatchError(ValueError):
+    """The journal on disk was written by a *different* sweep (other
+    seed set, fault plan, or task grid); resuming would silently mix
+    incompatible results, so the executor refuses instead."""
+
+
 class SweepJournal:
-    """Append-only completed-cell log for one sweep invocation."""
+    """Append-only completed-cell log for one sweep invocation.
+
+    The first line may be a ``kind: "header"`` record identifying the
+    sweep that wrote the journal (task-grid fingerprint, seeds, fault
+    plans); resume compares it against the current sweep and refuses a
+    mismatch.  Journals written before headers existed load normally.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
@@ -68,6 +80,12 @@ class SweepJournal:
                 ):
                     valid_bytes += len(raw)
                     continue
+                if blob.get("kind") == "header":
+                    # sweep-identity record, not a completed cell;
+                    # must be skipped *before* the digest lookup or
+                    # the torn-tail branch would truncate it away.
+                    valid_bytes += len(raw)
+                    continue
                 completed[blob["digest"]] = result_from_json(
                     blob["result"]
                 )
@@ -82,20 +100,59 @@ class SweepJournal:
             valid_bytes += len(raw)
         return completed
 
+    # ------------------------------------------------------------------
+    def read_header(self) -> dict | None:
+        """The sweep-identity header, or ``None`` for a missing /
+        empty / pre-header (legacy) journal."""
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        for raw in data.splitlines():
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                continue
+            try:
+                blob = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            if (
+                isinstance(blob, dict)
+                and blob.get("kind") == "header"
+            ):
+                header = dict(blob)
+                header.pop("schema", None)
+                header.pop("kind", None)
+                return header
+            return None  # first record is a cell: legacy journal
+        return None
+
+    def write_header(self, header: dict) -> None:
+        """Record the sweep identity as the first journal line."""
+        self._append_line(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "kind": "header",
+                **header,
+            }
+        )
+
     def append(
         self, digest: str, label: str, result: StrategyRunResult
     ) -> None:
         """Record one completed cell durably (flush + fsync) so the
         entry survives the process dying immediately after."""
-        line = json.dumps(
+        self._append_line(
             {
                 "schema": JOURNAL_SCHEMA_VERSION,
                 "digest": digest,
                 "task": label,
                 "result": result_to_json(result),
-            },
-            separators=(",", ":"),
+            }
         )
+
+    def _append_line(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as handle:
             handle.write(line + "\n")

@@ -21,6 +21,7 @@ process, or replayed from the cache.
 from __future__ import annotations
 
 import functools
+import hashlib
 import time
 import traceback
 from collections.abc import Callable, Sequence
@@ -30,7 +31,10 @@ from dataclasses import dataclass
 
 from repro.core.history import CorruptHistoryError, HistoryStore
 from repro.experiments.cache import ExperimentCache, experiment_digest
-from repro.experiments.journal import SweepJournal
+from repro.experiments.journal import (
+    JournalHeaderMismatchError,
+    SweepJournal,
+)
 from repro.experiments.runner import (
     ExperimentSetup,
     StrategyRunResult,
@@ -38,7 +42,7 @@ from repro.experiments.runner import (
     run_strategy,
 )
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import DEFAULT_HANG_S, FaultPlan
+from repro.faults.plan import DEFAULT_HANG_S, FaultPlan, plan_fingerprint
 from repro.machine.spec import MachineSpec
 from repro.workloads.base import Application
 
@@ -269,10 +273,29 @@ class ParallelSweepExecutor:
         tasks = list(tasks)
         journaled: dict[str, StrategyRunResult] = {}
         if self.journal is not None:
+            header = self._header(tasks)
             if self.resume:
+                saved = self.journal.read_header()
+                if saved is not None and saved != header:
+                    mismatched = sorted(
+                        set(saved) ^ set(header)
+                        | {
+                            k
+                            for k in header
+                            if k in saved and saved[k] != header[k]
+                        }
+                    )
+                    raise JournalHeaderMismatchError(
+                        f"journal {self.journal.path} was written by a "
+                        "different sweep (mismatched: "
+                        f"{', '.join(mismatched)}); resuming would mix "
+                        "incompatible results - delete the journal or "
+                        "re-run without resume"
+                    )
                 journaled = self.journal.load()
             else:
                 self.journal.clear()
+                self.journal.write_header(header)
 
         results: list[StrategyRunResult | None] = [None] * len(tasks)
         pending: list[int] = []
@@ -304,6 +327,29 @@ class ParallelSweepExecutor:
     @staticmethod
     def _digest(task: SweepTask) -> str:
         return experiment_digest(task.app, task.setup(), task.strategy)
+
+    @classmethod
+    def _header(cls, tasks: Sequence[SweepTask]) -> dict:
+        """Sweep-identity record written to (and checked against) the
+        journal: task-grid fingerprint, seeds and fault-plan hashes."""
+        digests = sorted(cls._digest(task) for task in tasks)
+        sweep = hashlib.sha256(
+            "\n".join(digests).encode()
+        ).hexdigest()[:16]
+        fault_prints = sorted(
+            {
+                fp
+                for fp in (
+                    plan_fingerprint(task.fault_plan) for task in tasks
+                )
+                if fp is not None
+            }
+        )
+        return {
+            "sweep": sweep,
+            "seeds": sorted({task.seed for task in tasks}),
+            "faults": fault_prints,
+        }
 
     def _cache_get(self, task: SweepTask) -> StrategyRunResult | None:
         if self.cache is None:

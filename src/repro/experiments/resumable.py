@@ -1,0 +1,88 @@
+"""Run-checkpoint persistence for crash-recoverable measurements.
+
+The experiment runner writes one checkpoint file after every completed
+region invocation of an ARCS-Online run (and at every repeat
+boundary).  The file is a single JSON object::
+
+    {
+      "schema": 1,
+      "meta": {...},         # identifies the experiment; resume
+                             # refuses a mismatch
+      "runs": [...],         # completed repeats (full AppRunResults)
+      "fallbacks": {...},    # per-region tuning fallbacks so far
+      "dropouts": N,
+      "configs": {...},      # chosen configs after the last repeat
+      "overhead": {...},
+      "cap_changes": [...],
+      "next_run": R,         # first repeat not fully completed
+      "active": {...} | null # mid-repeat state (progress, node,
+                             # runtime, injector, controller,
+                             # supervisor, capsched snapshots)
+    }
+
+Writes go through :func:`repro.util.atomicio.atomic_write_text`, so a
+kill at any instant leaves either the previous checkpoint or the new
+one on disk - never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.checkpoint import CheckpointError
+from repro.util.atomicio import atomic_write_text
+
+#: bump whenever the checkpoint layout or any snapshot format changes;
+#: resuming from an older schema fails loudly instead of mis-restoring.
+RUN_CHECKPOINT_SCHEMA = 1
+
+
+class SimulatedKill(RuntimeError):
+    """Raised by the runner's ``kill_after`` test hook *after* the
+    checkpoint write for the target invocation, simulating a process
+    killed at that exact point.  The chaos soak and the checkpoint
+    tests catch it and resume from the file left behind."""
+
+    def __init__(self, measurements: int, path: Path) -> None:
+        self.measurements = measurements
+        self.path = path
+        super().__init__(
+            f"simulated kill after {measurements} completed "
+            f"measurement(s); checkpoint left at {path}"
+        )
+
+
+def write_run_checkpoint(path: str | Path, blob: dict) -> Path:
+    """Atomically persist one checkpoint blob."""
+    return atomic_write_text(path, json.dumps(blob))
+
+
+def load_run_checkpoint(path: str | Path) -> dict:
+    """Load and schema-check a checkpoint; raises
+    :class:`CheckpointError` naming the path on any problem."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    try:
+        blob = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(blob, dict):
+        raise CheckpointError(
+            f"checkpoint {path} must be a JSON object, got "
+            f"{type(blob).__name__}"
+        )
+    if blob.get("schema") != RUN_CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has schema {blob.get('schema')!r}; "
+            f"this version reads schema {RUN_CHECKPOINT_SCHEMA} - "
+            "re-run without --resume-from"
+        )
+    return blob

@@ -16,20 +16,48 @@ Methodology mirrors Section IV-D:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.core.capschedule import CapSchedule, CapScheduleApplier
+from repro.core.checkpoint import (
+    CheckpointError,
+    controller_checkpoint,
+    restore_controller,
+)
 from repro.core.controller import ARCS
 from repro.core.history import HistoryStore, experiment_key
 from repro.core.overhead import OverheadReport
+from repro.experiments.resumable import (
+    RUN_CHECKPOINT_SCHEMA,
+    SimulatedKill,
+    load_run_checkpoint,
+    write_run_checkpoint,
+)
+from repro.experiments.serialize import (
+    app_fingerprint,
+    config_from_json,
+    config_to_json,
+    overhead_from_json,
+    overhead_to_json,
+    run_from_json,
+    run_to_json,
+)
 from repro.faults.inject import make_injector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, plan_fingerprint
 from repro.machine.node import SimulatedNode
 from repro.machine.rapl import CapWriteRejectedError
 from repro.machine.spec import MachineSpec
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
+from repro.supervise import RegionSupervisor, SuperviseConfig
 from repro.util.rng import derive_seed
 from repro.util.stats import summarize_runs
-from repro.workloads.base import Application, AppRunResult, run_application
+from repro.workloads.base import (
+    Application,
+    AppRunResult,
+    RunProgress,
+    run_application,
+)
 
 #: Crill power levels (W per package); None = uncapped TDP run.
 CRILL_POWER_LEVELS: tuple[float, ...] = (55.0, 70.0, 85.0, 100.0, 115.0)
@@ -72,6 +100,9 @@ class ExperimentSetup:
     #: run); each run of the experiment gets its own injector, salted
     #: by the run index so repeats draw independent fault streams.
     fault_plan: FaultPlan | None = None
+    #: dynamic power-cap timetable applied during each measured run
+    #: (None / empty = the static ``cap_w`` for the whole run).
+    cap_schedule: CapSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
@@ -89,6 +120,11 @@ class ExperimentSetup:
                     f"privilege; a cap of {self.cap_w:g} W cannot be "
                     "applied (run uncapped with cap_w=None instead)"
                 )
+        if self.cap_schedule and not self.spec.supports_power_cap:
+            raise ValueError(
+                f"machine {self.spec.name!r} has no power-capping "
+                "privilege; a cap schedule cannot be applied"
+            )
 
     @property
     def summary_mode(self) -> str:
@@ -114,6 +150,10 @@ class StrategyRunResult:
     #: per-run measurement notes plus per-region tuning fallbacks.
     #: Empty means the measurement ran clean end to end.
     degradations: tuple[str, ...] = ()
+    #: cap-schedule changes applied during the last repeat (in order),
+    #: e.g. ``"invocation 30: power cap 85W -> 70W"``; empty for
+    #: static-cap runs.
+    cap_changes: tuple[str, ...] = ()
 
     @property
     def representative(self) -> AppRunResult:
@@ -202,15 +242,38 @@ def _collect_degradations(
 
 
 # ---------------------------------------------------------------------------
+def _capsched_applier(setup: ExperimentSetup) -> CapScheduleApplier | None:
+    """One fresh schedule cursor per run; ``None`` for static caps."""
+    if setup.cap_schedule is None or not setup.cap_schedule:
+        return None
+    return CapScheduleApplier(setup.cap_schedule)
+
+
+def _cap_observer(applier, runtime):
+    """Observer driving a cap-schedule cursor (non-checkpointed runs)."""
+    def observer(progress: RunProgress) -> None:
+        applier.on_invocation(progress.invocations, runtime)
+    return observer
+
+
 def run_default(
     app: Application, setup: ExperimentSetup
 ) -> StrategyRunResult:
     """The paper's baseline: no APEX, no tuning, default configuration
     (max threads, default static)."""
     results = []
+    cap_changes: list[str] = []
     for r in range(setup.repeats):
         runtime = fresh_runtime(setup, run_index=r)
-        results.append(run_application(app, runtime))
+        applier = _capsched_applier(setup)
+        observer = (
+            _cap_observer(applier, runtime)
+            if applier is not None
+            else None
+        )
+        results.append(run_application(app, runtime, observer=observer))
+        if applier is not None:
+            cap_changes = list(applier.log)
     time_s, energy_j = _summarize(setup, results)
     return StrategyRunResult(
         strategy="default",
@@ -221,27 +284,135 @@ def run_default(
         energy_j=energy_j,
         runs=tuple(results),
         degradations=_collect_degradations(results),
+        cap_changes=tuple(cap_changes),
     )
+
+
+def _checkpoint_meta(
+    app: Application,
+    setup: ExperimentSetup,
+    strategy: str,
+    selective_threshold_s: float | None,
+) -> dict:
+    """Everything that must match for a checkpoint to be resumable:
+    resuming under a different setup would splice incompatible state."""
+    schedule = setup.cap_schedule
+    return {
+        "strategy": strategy,
+        "app": app.label,
+        "app_fingerprint": app_fingerprint(app),
+        "machine": setup.spec.name,
+        "cap_w": setup.cap_w,
+        "repeats": setup.repeats,
+        "seed": setup.seed,
+        "noise_sigma": setup.noise_sigma,
+        "online_max_evals": setup.online_max_evals,
+        "faults": plan_fingerprint(setup.fault_plan),
+        "capsched": schedule.fingerprint() if schedule else None,
+        "selective_threshold_s": selective_threshold_s,
+    }
 
 
 def run_arcs_online(
     app: Application,
     setup: ExperimentSetup,
     selective_threshold_s: float | None = None,
+    *,
+    checkpoint_path: str | Path | None = None,
+    resume_from: str | Path | None = None,
+    supervise: SuperviseConfig | None = None,
+    kill_after: int | None = None,
 ) -> StrategyRunResult:
     """ARCS-Online: Nelder-Mead tunes within the measured run.
 
     ``selective_threshold_s`` enables the paper's future-work selective
     mode: regions whose first measured call is shorter than the
     threshold are never tuned (used by the selective-tuning ablation).
+
+    ``checkpoint_path`` persists a resumable checkpoint after every
+    completed region invocation and every repeat boundary;
+    ``resume_from`` restores one (and keeps checkpointing to the same
+    file unless ``checkpoint_path`` overrides it).  A resumed run
+    finishes byte-identical to an uninterrupted run at the same seed.
+    Region execution goes through a :class:`RegionSupervisor`
+    (``supervise`` overrides its deadlines/retry budget); ``kill_after``
+    is a test hook raising :class:`SimulatedKill` once that many region
+    invocations have completed globally, right after the checkpoint
+    write for that invocation.
     """
-    results = []
+    if kill_after is not None and checkpoint_path is None:
+        raise ValueError(
+            "kill_after requires checkpoint_path (the simulated kill "
+            "must leave a checkpoint to resume from)"
+        )
+    if resume_from is not None and checkpoint_path is None:
+        checkpoint_path = resume_from
+    strategy_label = (
+        "arcs-online"
+        if selective_threshold_s is None
+        else "arcs-online-selective"
+    )
+    meta = _checkpoint_meta(app, setup, strategy_label, selective_threshold_s)
+    cap_aware = bool(setup.cap_schedule)
+
+    results: list[AppRunResult] = []
     configs: dict[str, OMPConfig] = {}
     overhead: OverheadReport | None = None
     fallbacks: dict[str, str] = {}
     bridge_notes: list[str] = []
     dropouts = 0
-    for r in range(setup.repeats):
+    cap_changes: list[str] = []
+    next_run = 0
+    active: dict | None = None
+
+    if resume_from is not None:
+        blob = load_run_checkpoint(resume_from)
+        if blob.get("meta") != meta:
+            saved = blob.get("meta") or {}
+            mismatched = sorted(
+                set(saved) ^ set(meta)
+                | {k for k in meta if k in saved and saved[k] != meta[k]}
+            )
+            raise CheckpointError(
+                f"checkpoint {resume_from} belongs to a different "
+                f"experiment (mismatched: {', '.join(mismatched)}); "
+                "refusing to resume"
+            )
+        results = [run_from_json(r) for r in blob["runs"]]
+        fallbacks = {
+            str(k): str(v) for k, v in blob["fallbacks"].items()
+        }
+        dropouts = int(blob["dropouts"])
+        configs = {
+            str(k): config_from_json(v)
+            for k, v in blob["configs"].items()
+        }
+        overhead = overhead_from_json(blob["overhead"])
+        cap_changes = [str(c) for c in blob["cap_changes"]]
+        next_run = int(blob["next_run"])
+        active = blob["active"]
+
+    def _write_checkpoint(boundary_next_run: int, active_blob: dict | None) -> None:
+        write_run_checkpoint(
+            checkpoint_path,
+            {
+                "schema": RUN_CHECKPOINT_SCHEMA,
+                "meta": meta,
+                "runs": [run_to_json(x) for x in results],
+                "fallbacks": dict(fallbacks),
+                "dropouts": dropouts,
+                "configs": {
+                    name: config_to_json(cfg)
+                    for name, cfg in configs.items()
+                },
+                "overhead": overhead_to_json(overhead),
+                "cap_changes": list(cap_changes),
+                "next_run": boundary_next_run,
+                "active": active_blob,
+            },
+        )
+
+    for r in range(next_run, setup.repeats):
         runtime = fresh_runtime(setup, run_index=r)
         arcs = ARCS(
             runtime,
@@ -249,14 +420,94 @@ def run_arcs_online(
             max_evals=setup.online_max_evals,
             seed=derive_seed(setup.seed, "online", r),
             selective_threshold_s=selective_threshold_s,
+            cap_aware=cap_aware,
         )
         arcs.attach()
-        results.append(run_application(app, runtime))
+        supervisor = RegionSupervisor(
+            runtime, supervise, pin=arcs.policy.pin_region
+        )
+        applier = _capsched_applier(setup)
+        progress = RunProgress()
+        if active is not None and int(active["run_index"]) == r:
+            # fresh_runtime's side effects (clock advance, fault draws,
+            # cap write) are fully overwritten by the restores below.
+            node = runtime.node
+            node.restore(active["node"])
+            runtime.restore(active["runtime"])
+            if node.faults is not None and active["injector"] is not None:
+                node.faults.restore(active["injector"])
+            restore_controller(arcs, active["controller"])
+            supervisor.restore(active["supervisor"])
+            if applier is not None and active["capsched"] is not None:
+                applier.restore(active["capsched"])
+            progress = RunProgress.from_snapshot(active["progress"])
+        active = None
+
+        completed_before = sum(x.total_region_calls for x in results)
+
+        def observer(
+            progress_: RunProgress,
+            *,
+            _r=r,
+            _runtime=runtime,
+            _arcs=arcs,
+            _supervisor=supervisor,
+            _applier=applier,
+            _before=completed_before,
+        ) -> None:
+            if _applier is not None:
+                _applier.on_invocation(progress_.invocations, _runtime)
+            if checkpoint_path is not None:
+                node = _runtime.node
+                _write_checkpoint(
+                    _r,
+                    {
+                        "run_index": _r,
+                        "progress": progress_.snapshot(),
+                        "node": node.snapshot(),
+                        "runtime": _runtime.snapshot(),
+                        "injector": (
+                            None
+                            if node.faults is None
+                            else node.faults.snapshot()
+                        ),
+                        "controller": controller_checkpoint(_arcs),
+                        "supervisor": _supervisor.snapshot(),
+                        "capsched": (
+                            None
+                            if _applier is None
+                            else _applier.snapshot()
+                        ),
+                    },
+                )
+            if (
+                kill_after is not None
+                and _before + progress_.invocations >= kill_after
+            ):
+                raise SimulatedKill(
+                    _before + progress_.invocations,
+                    Path(checkpoint_path),
+                )
+
+        results.append(
+            run_application(
+                app,
+                runtime,
+                execute=supervisor.execute,
+                observer=observer,
+                progress=progress,
+            )
+        )
         configs = arcs.chosen_configs()
         overhead = arcs.overhead_report()
         fallbacks.update(arcs.degradations())
         dropouts += arcs.bridge.timer_dropouts
+        if applier is not None:
+            cap_changes = list(applier.log)
         arcs.finalize()
+        if checkpoint_path is not None:
+            _write_checkpoint(r + 1, None)
+
     if dropouts:
         bridge_notes.append(
             f"{dropouts} OMPT timer event(s) dropped across "
@@ -265,9 +516,7 @@ def run_arcs_online(
         )
     time_s, energy_j = _summarize(setup, results)
     return StrategyRunResult(
-        strategy="arcs-online"
-        if selective_threshold_s is None
-        else "arcs-online-selective",
+        strategy=strategy_label,
         app_label=app.label,
         machine=setup.spec.name,
         cap_w=setup.cap_w,
@@ -279,6 +528,7 @@ def run_arcs_online(
         degradations=_collect_degradations(
             results, fallbacks, bridge_notes
         ),
+        cap_changes=tuple(cap_changes),
     )
 
 
@@ -322,6 +572,7 @@ def run_arcs_offline(
 
     results = []
     overhead: OverheadReport | None = None
+    cap_changes: list[str] = []
     for r in range(setup.repeats):
         runtime = fresh_runtime(setup, run_index=r)
         arcs = ARCS(
@@ -332,8 +583,19 @@ def run_arcs_offline(
             replay=True,
         )
         arcs.attach()
-        results.append(run_application(app, runtime))
+        # the tuning run stays cap-static (it tunes *for* setup.cap_w);
+        # only the measured replay runs see the schedule, mirroring a
+        # resource manager re-capping a production run of pre-tuned code.
+        applier = _capsched_applier(setup)
+        observer = (
+            _cap_observer(applier, runtime)
+            if applier is not None
+            else None
+        )
+        results.append(run_application(app, runtime, observer=observer))
         overhead = arcs.overhead_report()
+        if applier is not None:
+            cap_changes = list(applier.log)
         arcs.finalize()
     time_s, energy_j = _summarize(setup, results)
     return StrategyRunResult(
@@ -348,6 +610,7 @@ def run_arcs_offline(
         overhead=overhead,
         tuning_runs=tuning_runs,
         degradations=_collect_degradations(results, fallbacks),
+        cap_changes=tuple(cap_changes),
     )
 
 
@@ -356,13 +619,28 @@ def run_strategy(
     app: Application,
     setup: ExperimentSetup,
     history: HistoryStore | None = None,
+    *,
+    checkpoint_path: str | Path | None = None,
+    resume_from: str | Path | None = None,
+    supervise: SuperviseConfig | None = None,
 ) -> StrategyRunResult:
     """Dispatch by strategy name: default / arcs-online / arcs-offline."""
     key = name.lower()
+    if key in ("arcs-online", "online"):
+        return run_arcs_online(
+            app,
+            setup,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+            supervise=supervise,
+        )
+    if checkpoint_path is not None or resume_from is not None:
+        raise ValueError(
+            f"checkpointing is only supported for arcs-online, not "
+            f"{name!r}"
+        )
     if key == "default":
         return run_default(app, setup)
-    if key in ("arcs-online", "online"):
-        return run_arcs_online(app, setup)
     if key in ("arcs-offline", "offline"):
         return run_arcs_offline(app, setup, history=history)
     raise ValueError(

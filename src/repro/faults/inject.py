@@ -71,6 +71,33 @@ class FaultInjector:
             return spec
         return None
 
+    def snapshot(self) -> dict:
+        """JSON-ready state: occurrence counters, per-spec fire counts
+        and the fired-event log.  Together with the (plan, salt) pair -
+        which the resuming runner reconstructs from the experiment
+        setup - this makes ``draw`` resume exactly where it left off."""
+        return {
+            "counters": dict(self._counters),
+            "fires": {str(k): v for k, v in self._fires.items()},
+            "events": [
+                [e.site, e.action, e.occurrence] for e in self.events
+            ],
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Inverse of :meth:`snapshot` (JSON forces string keys on the
+        fire counts; convert them back to spec indices)."""
+        self._counters = {
+            str(site): int(n) for site, n in blob["counters"].items()
+        }
+        self._fires = {
+            int(k): int(v) for k, v in blob["fires"].items()
+        }
+        self.events = [
+            FaultEvent(site, action, int(occurrence))
+            for site, action, occurrence in blob["events"]
+        ]
+
     def occurrences(self, site: str) -> int:
         """How many times ``site`` has been polled so far."""
         return self._counters.get(site, 0)

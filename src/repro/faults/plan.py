@@ -21,7 +21,13 @@ site                      actions
 ``ompt.timer_stop``       ``drop``
 ``measure.noise``         ``spike``
 ``sweep.worker``          ``crash`` / ``hang``
+``region.exec``           ``crash`` / ``hang``
 ========================  =======================================
+
+``region.exec`` faults fire *inside* a run, at individual region
+executions, and are handled by the watchdog layer in
+:mod:`repro.supervise` (retry, pin to default, abort) rather than by
+the sweep executor.
 
 Plans serialize to/from JSON (the CLI's ``--faults plan.json``), are
 frozen/hashable (they ride inside :class:`~repro.experiments.runner.
@@ -31,6 +37,7 @@ so a plan file fully determines which occurrences fire.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +50,7 @@ FAULT_SITES: dict[str, tuple[str, ...]] = {
     "ompt.timer_stop": ("drop",),
     "measure.noise": ("spike",),
     "sweep.worker": ("crash", "hang"),
+    "region.exec": ("crash", "hang"),
 }
 
 #: default spike factor for ``measure.noise``: a timer glitch on a
@@ -223,3 +231,14 @@ def load_fault_plan(path: str | Path) -> FaultPlan:
 
 def save_fault_plan(plan: FaultPlan, path: str | Path) -> None:
     Path(path).write_text(json.dumps(plan.to_json(), indent=2) + "\n")
+
+
+def plan_fingerprint(plan: FaultPlan | None) -> str | None:
+    """Short content fingerprint of a plan; ``None`` for empty/absent
+    plans so clean-run digests and journal headers omit the key."""
+    if plan is None or not plan:
+        return None
+    blob = json.dumps(
+        plan.to_json(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -5,6 +5,13 @@ need a real measurement and receive the objective via ``send``.  A
 point cache short-circuits re-evaluations of already-measured points
 (the discrete lattice makes revisits common near convergence), so a
 cached revisit costs zero region executions.
+
+Replay contract (relied on by session checkpointing): a strategy's
+entire state is a deterministic function of its constructor arguments
+and the sequence of ``tell`` values it has received.  Replaying the
+same tells against a freshly-constructed strategy reproduces the same
+``ask`` sequence bit-for-bit - there is no hidden wall-clock or global
+RNG state.  Subclasses must preserve this.
 """
 
 from __future__ import annotations
@@ -90,6 +97,11 @@ class SimplexSearchBase(SearchStrategy):
     @property
     def best(self) -> tuple[tuple[int, ...], float] | None:
         return self._best
+
+    @property
+    def evals_used(self) -> int:
+        """Real (uncached) measurements consumed so far."""
+        return self._evals
 
     # ------------------------------------------------------------------
     # helpers for subclasses

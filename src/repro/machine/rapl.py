@@ -252,6 +252,52 @@ class Rapl:
         """DRAM-domain energy in joules."""
         return self._read_energy_j(RaplDomain.DRAM, socket)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready mutable state (cap states, energy accounts, last
+        successful reads).  The MSR registers themselves are owned - and
+        snapshotted - by :class:`~repro.machine.msr.MsrFile`."""
+        return {
+            "caps": [
+                [c.cap_w, c.pending_cap_w, c.cap_applies_at_s]
+                for c in self._caps
+            ],
+            "energy": [
+                [domain.value, socket, a.pending_j, a.last_update_s,
+                 a.wraps]
+                for (domain, socket), a in sorted(
+                    self._energy.items(),
+                    key=lambda item: (item[0][0].value, item[0][1]),
+                )
+            ],
+            "last_read": [
+                [domain.value, socket, value]
+                for (domain, socket), value in sorted(
+                    self._last_read_j.items(),
+                    key=lambda item: (item[0][0].value, item[0][1]),
+                )
+            ],
+        }
+
+    def restore(self, blob: dict) -> None:
+        self._caps = [
+            _CapState(cap_w, pending, float(applies_at))
+            for cap_w, pending, applies_at in blob["caps"]
+        ]
+        self._energy = {
+            (RaplDomain(domain), int(socket)): _EnergyAccount(
+                float(pending_j), float(last_update_s), int(wraps)
+            )
+            for domain, socket, pending_j, last_update_s, wraps
+            in blob["energy"]
+        }
+        self._last_read_j = {
+            (RaplDomain(domain), int(socket)): float(value)
+            for domain, socket, value in blob["last_read"]
+        }
+
     def force_update(self, now_s: float) -> None:
         """Flush pending energy into the counters (used at run teardown,
         mirroring a final synchronous read after a settle sleep)."""

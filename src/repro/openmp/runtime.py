@@ -139,6 +139,37 @@ class OpenMPRuntime:
         )
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready mutable runtime state.  The noise stream is keyed
+        by ``_call_index``, so restoring it (plus the node clock) makes
+        every subsequent measurement byte-identical to the
+        uninterrupted run.  The engine's record cache is pure
+        memoization and is rebuilt on demand."""
+        kind, chunk = self._schedule
+        return {
+            "num_threads": self._num_threads,
+            "schedule": [kind.value, chunk],
+            "call_index": self._call_index,
+            "config_change_time_s": self.config_change_time_s,
+            "config_change_calls": self.config_change_calls,
+            "degradations": list(self.degradations),
+        }
+
+    def restore(self, blob: dict) -> None:
+        self._num_threads = int(blob["num_threads"])
+        kind, chunk = blob["schedule"]
+        self._schedule = (
+            ScheduleKind(kind),
+            None if chunk is None else int(chunk),
+        )
+        self._call_index = int(blob["call_index"])
+        self.config_change_time_s = float(blob["config_change_time_s"])
+        self.config_change_calls = int(blob["config_change_calls"])
+        self.degradations = [str(note) for note in blob["degradations"]]
+
+    # ------------------------------------------------------------------
     # region execution
     # ------------------------------------------------------------------
     def parallel_for(self, region: RegionProfile) -> RegionExecutionRecord:

@@ -130,3 +130,111 @@ class TestCommands:
         # second invocation reuses the tuned history
         assert main(argv) == 0
         assert "chosen configurations" in capsys.readouterr().out
+
+
+def write_capsched(tmp_path, after=30, cap_w=55.0):
+    import json
+
+    path = tmp_path / "sched.json"
+    path.write_text(
+        json.dumps(
+            {
+                "events": [
+                    {
+                        "after_region_invocations": after,
+                        "cap_w": cap_w,
+                    }
+                ]
+            }
+        )
+    )
+    return str(path)
+
+
+class TestRobustnessFlags:
+    def test_run_new_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cap_schedule is None
+        assert args.checkpoint is None
+        assert args.resume_from is None
+
+    def test_missing_fault_plan_is_friendly(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic",
+                  "--faults", "missing.json"])
+        message = str(err.value.code)
+        assert message.startswith("error:")
+        assert "missing.json" in message
+        assert "Traceback" not in message
+
+    def test_missing_cap_schedule_is_friendly(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic",
+                  "--cap-schedule", "missing.json"])
+        message = str(err.value.code)
+        assert message.startswith("error:")
+        assert "missing.json" in message
+
+    def test_cap_schedule_on_noncapping_machine_is_friendly(
+        self, tmp_path
+    ):
+        sched = write_capsched(tmp_path)
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic",
+                  "--machine", "minotaur", "--cap-schedule", sched])
+        assert "capping" in str(err.value.code)
+
+    def test_run_with_cap_schedule_reports_changes(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["run", "--app", "synthetic",
+             "--strategy", "arcs-online", "--cap", "85",
+             "--repeats", "1",
+             "--cap-schedule", write_capsched(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cap changes:" in out
+        assert "power cap 85W -> 55W" in out
+
+    def test_checkpoint_requires_online_strategy(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic",
+                  "--strategy", "default",
+                  "--checkpoint", str(tmp_path / "ck.json")])
+        assert "arcs-online" in str(err.value.code)
+
+    def test_resume_from_missing_checkpoint_is_friendly(self):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--app", "synthetic",
+                  "--strategy", "arcs-online",
+                  "--resume-from", "missing.json"])
+        message = str(err.value.code)
+        assert message.startswith("error:")
+        assert "missing.json" in message
+
+    def test_checkpoint_then_resume_prints_identical_result(
+        self, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "ck.json")
+        base = ["run", "--app", "synthetic",
+                "--strategy", "arcs-online", "--repeats", "1"]
+        assert main(base + ["--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume-from", ck]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_resume_with_changed_setup_is_refused(
+        self, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "journal.jsonl")
+        base = ["sweep", "--app", "synthetic", "--repeats", "1",
+                "--no-cache", "--journal", journal]
+        assert main(base) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as err:
+            main(base + ["--seed", "1", "--resume"])
+        message = str(err.value.code)
+        assert "journal" in message
+        assert "seeds" in message

@@ -94,7 +94,7 @@ class TestCorruption:
     def test_failed_write_preserves_previous_contents(
         self, tmp_path, monkeypatch
     ):
-        import repro.core.history as history_mod
+        import repro.util.atomicio as atomicio_mod
 
         path = tmp_path / "h.json"
         store = HistoryStore(path)
@@ -104,7 +104,7 @@ class TestCorruption:
         def exploding_replace(src, dst):
             raise OSError("injected crash")
 
-        monkeypatch.setattr(history_mod.os, "replace", exploding_replace)
+        monkeypatch.setattr(atomicio_mod.os, "replace", exploding_replace)
         with pytest.raises(OSError):
             store.save("k2", {"r": OMPConfig(2)})
         assert path.read_text() == before

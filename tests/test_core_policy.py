@@ -224,3 +224,128 @@ class TestHistorySaving:
             + report.instrumentation_s
             + report.search_s
         )
+
+
+class _StubSession:
+    """Minimal stand-in exposing only what ``_warm_start`` consults."""
+
+    def __init__(self, point):
+        self._point = point
+
+    def best_point(self):
+        return self._point
+
+
+class TestCapAwareWarmStart:
+    """The cap-schedule story: a new power level's search starts from
+    the nearest already-tuned level's best configuration."""
+
+    def _policy(self, runtime, cap_w=None):
+        from repro.core.policy import ArcsPolicy, RegionTuningState
+
+        if cap_w is not None:
+            runtime.node.set_power_cap(cap_w)
+            runtime.node.settle_after_cap()
+        policy = ArcsPolicy(
+            runtime, space=tiny_space(), cap_aware=True
+        )
+        return policy, RegionTuningState
+
+    def test_no_donor_without_tuned_levels(self, runtime):
+        policy, _ = self._policy(runtime, cap_w=70.0)
+        assert policy._warm_start("r") is None
+
+    def test_nearest_level_wins(self, runtime):
+        policy, State = self._policy(runtime, cap_w=70.0)
+        near = {
+            "n_threads": 8,
+            "schedule": ScheduleKind.STATIC,
+            "chunk": 8,
+        }
+        far = {
+            "n_threads": 32,
+            "schedule": ScheduleKind.DYNAMIC,
+            "chunk": None,
+        }
+        policy.regions["r@85W"] = State(session=_StubSession(near))
+        policy.regions["r@tdp"] = State(session=_StubSession(far))
+        assert policy._warm_start("r") == policy.space.encode(near)
+
+    def test_tie_prefers_lower_cap(self, runtime):
+        policy, State = self._policy(runtime, cap_w=70.0)
+        low = {
+            "n_threads": 4,
+            "schedule": ScheduleKind.STATIC,
+            "chunk": None,
+        }
+        high = {
+            "n_threads": 16,
+            "schedule": ScheduleKind.DYNAMIC,
+            "chunk": 8,
+        }
+        policy.regions["r@55W"] = State(session=_StubSession(low))
+        policy.regions["r@85W"] = State(session=_StubSession(high))
+        assert policy._warm_start("r") == policy.space.encode(low)
+
+    def test_other_regions_never_donate(self, runtime):
+        policy, State = self._policy(runtime, cap_w=70.0)
+        point = {
+            "n_threads": 8,
+            "schedule": ScheduleKind.STATIC,
+            "chunk": 8,
+        }
+        policy.regions["other@85W"] = State(
+            session=_StubSession(point)
+        )
+        assert policy._warm_start("r") is None
+
+    def test_cap_change_seeds_session_from_donor(self, runtime):
+        """End to end: converge at TDP, drop the cap, and the new
+        level's session must start from the TDP best."""
+        space = tiny_space()
+        arcs = attach_arcs(
+            runtime, strategy="exhaustive", cap_aware=True
+        )
+        region = make_region(name="r")
+        for _ in range(space.size + 1):
+            runtime.parallel_for(region)
+        donor = arcs.policy.sessions()["r@tdp"].best_point()
+        runtime.node.set_power_cap(55.0)
+        runtime.node.settle_after_cap()
+        runtime.parallel_for(region)
+        state = arcs.policy.regions["r@55W"]
+        assert state.session_start == space.encode(donor)
+
+
+class TestPinRegion:
+    def test_pinned_region_runs_default_and_degrades(self, runtime):
+        arcs = attach_arcs(runtime, strategy="exhaustive")
+        region = make_region(name="r")
+        runtime.parallel_for(region)
+        arcs.policy.pin_region("r", "kept crashing")
+        record = runtime.parallel_for(region)
+        state = arcs.policy.regions["r"]
+        assert state.degraded == "kept crashing"
+        assert record.config == arcs.policy._default_config()
+        assert "r" in arcs.policy.degradations()
+
+    def test_pin_applies_across_power_levels(self, runtime):
+        arcs = attach_arcs(
+            runtime, strategy="exhaustive", cap_aware=True
+        )
+        region = make_region(name="r")
+        runtime.parallel_for(region)
+        arcs.policy.pin_region("r", "kept crashing")
+        runtime.node.set_power_cap(55.0)
+        runtime.node.settle_after_cap()
+        record = runtime.parallel_for(region)
+        # the never-before-seen 55W level is pinned too: no session
+        assert arcs.policy.regions["r@55W"].session is None
+        assert record.config == arcs.policy._default_config()
+
+    def test_pin_before_first_encounter(self, runtime):
+        arcs = attach_arcs(runtime, strategy="exhaustive")
+        arcs.policy.pin_region("r", "preemptive")
+        record = runtime.parallel_for(make_region(name="r"))
+        assert record.config == arcs.policy._default_config()
+        assert arcs.policy.regions["r"].session is None

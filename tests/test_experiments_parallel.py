@@ -285,15 +285,92 @@ class TestBugfixRegressions:
         store.save("k", {"r": OMPConfig(4)})
         before = path.read_text()
 
-        import repro.core.history as history_mod
+        import repro.util.atomicio as atomicio_mod
 
         def exploding_replace(src, dst):
             raise OSError("injected crash before replace")
 
         monkeypatch.setattr(
-            history_mod.os, "replace", exploding_replace
+            atomicio_mod.os, "replace", exploding_replace
         )
         with pytest.raises(OSError):
             store.save("k2", {"r": OMPConfig(8)})
         assert path.read_text() == before
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestJournalHeader:
+    """The sweep-identity header that guards ``--resume`` against
+    mixing results from a different sweep."""
+
+    def _journal(self, tmp_path):
+        from repro.experiments.journal import SweepJournal
+
+        return SweepJournal(tmp_path / "journal.jsonl")
+
+    def test_roundtrip(self, tmp_path):
+        journal = self._journal(tmp_path)
+        header = {"sweep": "abc123", "seeds": [0], "faults": []}
+        journal.write_header(header)
+        assert journal.read_header() == header
+
+    def test_missing_and_empty_journals_have_no_header(self, tmp_path):
+        journal = self._journal(tmp_path)
+        assert journal.read_header() is None
+        journal.clear()
+        assert journal.read_header() is None
+
+    def test_legacy_journal_without_header_reads_none(self, tmp_path):
+        # journals written before headers existed start with a cell
+        journal = self._journal(tmp_path)
+        task = _task()
+        digest = ParallelSweepExecutor._digest(task)
+        journal.append(digest, task.label, run_sweep_task(task))
+        assert journal.read_header() is None
+        assert digest in journal.load()
+
+    def test_header_is_not_a_cell(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.write_header({"sweep": "abc123"})
+        task = _task()
+        digest = ParallelSweepExecutor._digest(task)
+        journal.append(digest, task.label, run_sweep_task(task))
+        # load() must neither return the header nor truncate it away
+        assert list(journal.load()) == [digest]
+        assert journal.read_header() == {"sweep": "abc123"}
+
+    def test_executor_refuses_foreign_journal(self, tmp_path):
+        from repro.experiments.journal import (
+            JournalHeaderMismatchError,
+        )
+
+        journal = self._journal(tmp_path)
+        tasks = [_task(strategy="default", seed=0)]
+        ParallelSweepExecutor(journal=journal).run(tasks)
+        other = [_task(strategy="default", seed=1)]
+        with pytest.raises(
+            JournalHeaderMismatchError, match="seeds"
+        ):
+            ParallelSweepExecutor(
+                journal=journal, resume=True
+            ).run(other)
+
+    def test_executor_resumes_matching_journal(self, tmp_path):
+        journal = self._journal(tmp_path)
+        tasks = [_task(strategy="default", seed=0)]
+        first = ParallelSweepExecutor(journal=journal).run(tasks)
+        resumed = ParallelSweepExecutor(
+            journal=journal, resume=True
+        ).run([_task(strategy="default", seed=0)])
+        assert result_to_json(resumed[0]) == result_to_json(first[0])
+
+    def test_legacy_journal_resumes_without_complaint(self, tmp_path):
+        # pre-header journals must stay resumable (no header = no check)
+        journal = self._journal(tmp_path)
+        task = _task()
+        digest = ParallelSweepExecutor._digest(task)
+        journal.append(digest, task.label, run_sweep_task(task))
+        results = ParallelSweepExecutor(
+            journal=journal, resume=True
+        ).run([_task()])
+        assert results[0] is not None

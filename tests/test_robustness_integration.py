@@ -205,10 +205,14 @@ class TestJournaledResume:
             tasks
         )
         lines = path.read_text().splitlines(keepends=True)
-        assert len(lines) == len(tasks)
+        # one sweep-identity header line plus one line per cell
+        assert len(lines) == len(tasks) + 1
 
-        # simulate a kill -9 mid-append: first cell intact, second torn
-        path.write_text(lines[0] + lines[1][: len(lines[1]) // 2])
+        # simulate a kill -9 mid-append: header and first cell intact,
+        # second cell torn
+        path.write_text(
+            lines[0] + lines[1] + lines[2][: len(lines[2]) // 2]
+        )
         resumed = ParallelSweepExecutor(
             journal=SweepJournal(path), resume=True
         ).run(tasks)
@@ -243,8 +247,8 @@ class TestJournaledResume:
         tasks = _tasks()
         ParallelSweepExecutor(journal=SweepJournal(path)).run(tasks)
         ParallelSweepExecutor(journal=SweepJournal(path)).run(tasks)
-        # cleared then re-filled, not appended twice
-        assert len(path.read_text().splitlines()) == len(tasks)
+        # cleared then re-filled (header + cells), not appended twice
+        assert len(path.read_text().splitlines()) == len(tasks) + 1
 
     def test_resume_requires_journal(self):
         with pytest.raises(ValueError, match="journal"):

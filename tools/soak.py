@@ -1,0 +1,262 @@
+"""Chaos soak for crash-recoverable ARCS-Online runs.
+
+Each iteration draws a randomized fault plan and cap schedule, runs an
+uninterrupted baseline, then kills the same experiment at several
+random points (via the runner's ``kill_after`` hook, which raises
+right after the checkpoint write) and resumes each from its
+checkpoint.  The soak asserts, per kill point:
+
+* **equivalence** - the resumed run's full-fidelity JSON encoding is
+  byte-identical to the baseline's;
+* **no-NaN** - every float anywhere in the result and in the
+  checkpoint left behind is finite;
+* **monotone best** - every checkpointed tuning session's recorded
+  best matches the minimum of the objective values it was told (the
+  best can only improve as measurements accumulate).
+
+Exit code 0 = pass, 1 = fail.
+
+Usage::
+
+    PYTHONPATH=src python tools/soak.py --iterations 3 --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.capschedule import CapEvent, CapSchedule
+from repro.experiments.cache import result_to_json
+from repro.experiments.resumable import (
+    SimulatedKill,
+    load_run_checkpoint,
+)
+from repro.experiments.runner import ExperimentSetup, run_arcs_online
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.machine.spec import crill
+from repro.workloads.synthetic import synthetic_application
+
+#: caps the schedule generator may flip between (crill levels + TDP).
+_CAP_LEVELS = (55.0, 70.0, 85.0, 100.0, None)
+
+
+def _random_fault_plan(rng: random.Random) -> FaultPlan | None:
+    """A small randomized plan.  ``region.exec`` crash fires are kept
+    well under the supervisor's abort threshold (6 consecutive) so a
+    soak run always finishes; pinning a region is fair game."""
+    specs: list[FaultSpec] = []
+    if rng.random() < 0.8:
+        specs.append(
+            FaultSpec(
+                site="region.exec",
+                action="crash",
+                probability=rng.uniform(0.005, 0.03),
+                max_fires=rng.randint(1, 3),
+            )
+        )
+    if rng.random() < 0.6:
+        specs.append(
+            FaultSpec(
+                site="region.exec",
+                action="hang",
+                probability=rng.uniform(0.005, 0.02),
+                max_fires=rng.randint(1, 2),
+                magnitude=rng.uniform(0.1, 0.5),
+            )
+        )
+    if rng.random() < 0.5:
+        specs.append(
+            FaultSpec(
+                site="rapl.read",
+                action=rng.choice(("error", "stale")),
+                probability=rng.uniform(0.005, 0.03),
+                max_fires=rng.randint(1, 4),
+            )
+        )
+    if rng.random() < 0.3:
+        specs.append(
+            FaultSpec(
+                site="rapl.cap_write",
+                action="reject",
+                probability=rng.uniform(0.05, 0.3),
+                max_fires=rng.randint(1, 2),
+            )
+        )
+    if not specs:
+        return None
+    return FaultPlan(specs=tuple(specs), seed=rng.randint(0, 2**31))
+
+
+def _random_cap_schedule(
+    rng: random.Random, total: int
+) -> CapSchedule | None:
+    if rng.random() < 0.25:
+        return None
+    points = sorted(
+        rng.sample(range(2, max(3, total - 1)), rng.randint(1, 3))
+    )
+    events = tuple(
+        CapEvent(after, rng.choice(_CAP_LEVELS)) for after in points
+    )
+    return CapSchedule(
+        events=events,
+        hysteresis_invocations=rng.choice((0, 0, 5, 20)),
+    )
+
+
+def _assert_finite(blob, where: str) -> None:
+    """Recursively reject NaN/inf anywhere in a JSON-shaped value."""
+    stack = [(blob, where)]
+    while stack:
+        value, path = stack.pop()
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                raise AssertionError(f"non-finite float at {path}")
+        elif isinstance(value, dict):
+            stack.extend(
+                (v, f"{path}.{k}") for k, v in value.items()
+            )
+        elif isinstance(value, (list, tuple)):
+            stack.extend(
+                (v, f"{path}[{i}]") for i, v in enumerate(value)
+            )
+
+
+def _assert_monotone_best(checkpoint: dict, where: str) -> None:
+    """Every checkpointed session's recorded best must equal the
+    minimum objective it has been told (ties allowed)."""
+    active = checkpoint.get("active")
+    if not active:
+        return
+    regions = active["controller"]["policy"]["regions"]
+    for key, state in regions.items():
+        session = state.get("session")
+        if not session:
+            continue
+        tells = [
+            event[2]
+            for event in session["events"]
+            if event[0] == "tell"
+        ]
+        best = session.get("best")
+        if not tells:
+            if best is not None:
+                raise AssertionError(
+                    f"{where}: session {key} has a best with no tells"
+                )
+            continue
+        if best is None:
+            raise AssertionError(
+                f"{where}: session {key} was told {len(tells)} "
+                "value(s) but records no best"
+            )
+        if best[1] != min(tells):
+            raise AssertionError(
+                f"{where}: session {key} best {best[1]} != min told "
+                f"value {min(tells)}"
+            )
+
+
+def _iteration(
+    iteration: int, seed: int, kill_points: int, tmp: Path
+) -> int:
+    """Run one chaos iteration; returns the number of kills tested."""
+    rng = random.Random((seed << 16) ^ iteration)
+    app = synthetic_application(timesteps=rng.choice((10, 20, 30)))
+    repeats = rng.choice((1, 2))
+    total_guess = app.timesteps * app.calls_per_step() * repeats
+    setup = ExperimentSetup(
+        spec=crill(),
+        cap_w=rng.choice(_CAP_LEVELS),
+        repeats=repeats,
+        seed=rng.randint(0, 2**31),
+        online_max_evals=rng.choice((10, 20)),
+        fault_plan=_random_fault_plan(rng),
+        cap_schedule=_random_cap_schedule(rng, total_guess),
+    )
+
+    baseline = run_arcs_online(app, setup)
+    expected = result_to_json(baseline)
+    _assert_finite(expected, f"iter {iteration} baseline result")
+    total = sum(r.total_region_calls for r in baseline.runs)
+
+    kills = sorted(
+        rng.sample(range(1, total), min(kill_points, total - 1))
+    )
+    for kill in kills:
+        ck = tmp / f"soak-{iteration}-{kill}.json"
+        try:
+            run_arcs_online(
+                app, setup, checkpoint_path=ck, kill_after=kill
+            )
+            raise AssertionError(
+                f"iter {iteration}: kill_after={kill} did not kill "
+                f"(run has {total} invocations)"
+            )
+        except SimulatedKill:
+            pass
+        checkpoint = load_run_checkpoint(ck)
+        where = f"iter {iteration} kill {kill} checkpoint"
+        _assert_finite(checkpoint, where)
+        _assert_monotone_best(checkpoint, where)
+
+        resumed = run_arcs_online(app, setup, resume_from=ck)
+        got = result_to_json(resumed)
+        _assert_finite(got, f"iter {iteration} kill {kill} resumed")
+        if got != expected:
+            differing = sorted(
+                k for k in expected if got.get(k) != expected[k]
+            )
+            raise AssertionError(
+                f"iter {iteration}: resume after kill at invocation "
+                f"{kill} diverged from the uninterrupted run "
+                f"(fields: {', '.join(differing)})"
+            )
+    print(
+        f"soak iter {iteration}: {len(kills)} kill(s) across "
+        f"{total} invocation(s), "
+        f"{len(baseline.degradations)} degradation(s), "
+        f"{len(baseline.cap_changes)} cap change(s) - OK"
+    )
+    return len(kills)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kill-points", type=int, default=7,
+        help="random kill/resume points tested per iteration",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    tested = 0
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            for iteration in range(args.iterations):
+                tested += _iteration(
+                    iteration, args.seed, args.kill_points, Path(tmp)
+                )
+    except AssertionError as exc:
+        print(f"soak FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"soak OK: {tested} kill/resume cycle(s) over "
+        f"{args.iterations} iteration(s) in "
+        f"{time.perf_counter() - t0:.1f} s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
