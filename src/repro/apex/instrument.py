@@ -29,6 +29,7 @@ from repro.openmp.ompt import (
     ParallelEndPayload,
 )
 from repro.openmp.runtime import OpenMPRuntime
+from repro.telemetry.bus import bus
 
 #: time charged per instrumented OMPT event (timer start or stop):
 #: measurement glue, map lookups, policy dispatch.
@@ -111,6 +112,11 @@ class ApexOmptBridge:
             # the begin callback was lost: no timer, no policy event -
             # this execution runs with whatever config is current.
             self.timer_dropouts += 1
+            bus().emit(
+                "apex.timer_dropout",
+                region=payload.region_name,
+                edge="start",
+            )
             return
         self._charge_overhead()
         name = payload.region_name
@@ -120,6 +126,9 @@ class ApexOmptBridge:
             # discard it rather than report a garbage measurement.
             self.timers.stop(name, self.runtime.node.now_s)
             self.timer_repairs += 1
+            bus().emit(
+                "apex.timer_repair", region=name, edge="start"
+            )
         _timer, first = self.timers.start(name, self.runtime.node.now_s)
         self._first_by_name[name] = first
         self.policy_engine.timer_started(
@@ -135,12 +144,18 @@ class ApexOmptBridge:
             # the end callback was lost; the running timer is left for
             # the next begin of this region to discard.
             self.timer_dropouts += 1
+            bus().emit(
+                "apex.timer_dropout",
+                region=payload.region_name,
+                edge="stop",
+            )
             return
         self._charge_overhead()
         name = payload.region_name
         if not self.timers.is_running(name):
             # the matching start was lost: nothing to measure.
             self.timer_repairs += 1
+            bus().emit("apex.timer_repair", region=name, edge="stop")
             return
         elapsed = self.timers.stop(name, self.runtime.node.now_s)
         spike = self._draw("measure.noise")
@@ -149,6 +164,7 @@ class ApexOmptBridge:
             # execution (clock, energy) is not.
             elapsed *= spike.magnitude or DEFAULT_SPIKE_FACTOR
             self.noise_spikes += 1
+            bus().emit("apex.noise_spike", region=name)
         self.policy_engine.timer_stopped(
             TimerEventContext(
                 timer_name=name,

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import argparse
 from collections.abc import Sequence
+from contextlib import contextmanager
+from pathlib import Path
 
 from repro.core.capschedule import (
     CapSchedule,
@@ -39,6 +41,18 @@ from repro.faults.plan import FaultPlan, FaultPlanError, load_fault_plan
 from repro.supervise import RunAbortedError
 from repro.experiments.tables import table1_search_space
 from repro.machine.spec import machine_by_name
+from repro.telemetry import (
+    JsonlSink,
+    TelemetryBus,
+    bus,
+    export_chrome_trace,
+    install,
+    load_telemetry_dir,
+    render_decision_timeline,
+    render_metrics_summary,
+)
+from repro.util.log import LEVELS as _LOG_LEVELS
+from repro.util.log import configure as configure_logging
 from repro.util.tables import format_table
 from repro.workloads.registry import application_by_name
 
@@ -53,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
             "ARCS (CLUSTER 2016) reproduction - run power-constrained "
             "OpenMP tuning experiments on simulated machines"
         ),
+    )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVELS, default=None,
+        help="diagnostic log verbosity (also: REPRO_LOG=level[:json])",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -91,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume-from", default=None, metavar="PATH",
                      help="resume an interrupted arcs-online run from "
                           "a checkpoint written by --checkpoint")
+    run.add_argument("--telemetry", default=None, metavar="DIR",
+                     help="record the run's full event/metric stream "
+                          "as telemetry.jsonl plus a Perfetto-loadable "
+                          "trace.json under DIR")
 
     sweep = sub.add_parser(
         "sweep",
@@ -127,7 +149,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve cells already in --journal instead of re-running "
              "them (requires --journal)",
     )
+    sweep.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record harness lifecycle events (sweep.jsonl) and one "
+             "task-<runid>.jsonl per executed cell under DIR, plus a "
+             "merged trace.json",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render the per-region decision timeline from a "
+             "telemetry directory",
+    )
+    trace.add_argument("dir", metavar="DIR",
+                       help="directory written by --telemetry")
+    trace.add_argument("--region", default=None,
+                       help="only show decisions for this region")
+
+    report = sub.add_parser(
+        "report", help="summarize a recorded run's telemetry"
+    )
+    report.add_argument(
+        "--telemetry", required=True, metavar="DIR",
+        help="directory written by run/sweep --telemetry",
+    )
     return parser
+
+
+@contextmanager
+def _telemetry_session(directory: str, filename: str, **meta):
+    """Install an enabled bus writing ``DIR/filename`` for the span of
+    one CLI command; always restores the previous bus, closes the log
+    (flushing aggregated metrics) and regenerates ``trace.json``."""
+    out = Path(directory)
+    session = TelemetryBus(enabled=True)
+    session.add_sink(JsonlSink(out / filename))
+    session.meta(**meta)
+    previous = install(session)
+    try:
+        yield session
+    finally:
+        install(previous)
+        session.close()
+        export_chrome_trace(out)
 
 
 def _cmd_list() -> str:
@@ -183,12 +247,35 @@ def _cmd_run(args: argparse.Namespace) -> str:
         # --repeats 0: refuse loudly instead of mis-reporting.
         raise SystemExit(f"error: {exc}") from exc
     history = HistoryStore(args.history) if args.history else None
+
+    def _execute():
+        try:
+            return run_strategy(
+                args.strategy, app, setup, history=history,
+                checkpoint_path=args.checkpoint,
+                resume_from=args.resume_from,
+            )
+        except RunAbortedError as exc:
+            # land the abort in the event log (and thus the timeline)
+            # before the telemetry session closes
+            tb = bus()
+            if tb.enabled:
+                tb.emit(
+                    "run.aborted", region=exc.region, reason=exc.reason
+                )
+            raise
+
     try:
-        result = run_strategy(
-            args.strategy, app, setup, history=history,
-            checkpoint_path=args.checkpoint,
-            resume_from=args.resume_from,
-        )
+        if args.telemetry:
+            with _telemetry_session(
+                args.telemetry, "telemetry.jsonl",
+                command="run", app=app.label, machine=spec.name,
+                strategy=args.strategy, cap_w=args.cap,
+                seed=args.seed, repeats=args.repeats,
+            ):
+                result = _execute()
+        else:
+            result = _execute()
     except CheckpointError as exc:
         # unreadable / mismatched checkpoint: actionable, not a bug
         raise SystemExit(f"error: {exc}") from exc
@@ -257,12 +344,24 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         resume=args.resume,
         faults=make_injector(fault_plan),
     )
-    try:
-        sweep = power_sweep(
+    def _run_sweep():
+        return power_sweep(
             app, spec, caps, repeats=args.repeats, seed=args.seed,
             workers=args.workers, cache=cache, executor=executor,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, telemetry_dir=args.telemetry,
         )
+
+    try:
+        if args.telemetry:
+            with _telemetry_session(
+                args.telemetry, "sweep.jsonl",
+                command="sweep", app=app.label, machine=spec.name,
+                repeats=args.repeats, seed=args.seed,
+                workers=args.workers,
+            ):
+                sweep = _run_sweep()
+        else:
+            sweep = _run_sweep()
     except JournalHeaderMismatchError as exc:
         raise SystemExit(f"error: {exc}") from exc
     lines = [
@@ -288,8 +387,27 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _load_telemetry(directory: str):
+    try:
+        return load_telemetry_dir(directory)
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    return render_decision_timeline(
+        _load_telemetry(args.dir), region=args.region
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    return render_metrics_summary(_load_telemetry(args.telemetry))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        configure_logging(level=args.log_level)
     if args.command == "list":
         print(_cmd_list())
     elif args.command == "search-space":
@@ -298,6 +416,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_run(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
+    elif args.command == "report":
+        print(_cmd_report(args))
     return 0
 
 

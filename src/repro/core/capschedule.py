@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.machine.rapl import CapWriteRejectedError
 from repro.openmp.runtime import OpenMPRuntime
+from repro.telemetry.bus import bus
 
 #: attempts per cap-change write before giving up on the event (the
 #: same bounded-retry discipline the runner uses for the initial cap).
@@ -240,6 +241,12 @@ class CapScheduleApplier:
                 f"{cap_label(before)}"
             )
             self._applied_idx = target_idx
+            bus().emit(
+                "cap.change_rejected",
+                invocation=n,
+                cap_from=cap_label(before),
+                cap_to=cap_label(target.cap_w),
+            )
             return
         node.settle_after_cap()
         self._applied_idx = target_idx
@@ -248,6 +255,15 @@ class CapScheduleApplier:
             f"invocation {n}: power cap {cap_label(before)} -> "
             f"{cap_label(target.cap_w)}"
         )
+        tb = bus()
+        if tb.enabled:
+            tb.count("cap.changes")
+            tb.emit(
+                "cap.change",
+                invocation=n,
+                cap_from=cap_label(before),
+                cap_to=cap_label(target.cap_w),
+            )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

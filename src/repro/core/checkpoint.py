@@ -94,7 +94,9 @@ def controller_checkpoint(arcs: ARCS) -> dict:
                 "starts": bridge.timers.total_starts,
             },
             "profile": {
-                name: [s.calls, s.total_s, s.min_s, s.max_s, s.last_s]
+                name: [
+                    s.calls, s.total_s, s.min_s_json(), s.max_s, s.last_s
+                ]
                 for name, s in profile.timers.items()
             },
         },
@@ -174,7 +176,8 @@ def restore_controller(arcs: ARCS, blob: dict) -> None:
             name=str(name),
             calls=int(calls),
             total_s=float(total_s),
-            min_s=float(min_s),
+            # None marks a never-fired timer (see TimerStats.min_s_json)
+            min_s=float("inf") if min_s is None else float(min_s),
             max_s=float(max_s),
             last_s=float(last_s),
         )

@@ -43,6 +43,7 @@ from repro.harmony.session import MeasurementGuard, TuningSession
 from repro.harmony.space import SearchSpace
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig, default_config
+from repro.telemetry.bus import bus
 from repro.util.rng import derive_seed
 
 
@@ -50,6 +51,14 @@ from repro.util.rng import derive_seed
 #: for time; ``energy`` and ``edp`` (energy-delay product) are natural
 #: extensions once the DVFS dimension exists.
 OBJECTIVES = ("time", "energy", "edp")
+
+#: per-source apply-counter names, precomputed - _apply runs once per
+#: region invocation and the f-string shows up in the telemetry
+#: overhead budget.
+_APPLY_COUNTERS = {
+    source: f"policy.applies.{source}"
+    for source in ("search", "converged", "replay", "pinned", "degraded")
+}
 
 
 class MissingRegionConfigError(KeyError):
@@ -175,14 +184,17 @@ class ArcsPolicy(Policy):
                         context.timer_name, tuple(sorted(self.replay))
                     )
                 return
-            self._apply(state, config)
+            self._apply(state, config, context.timer_name, "replay")
             return
 
         pin = self._pinned.get(context.timer_name)
         if pin is not None:
             if state.degraded is None:
                 state.degraded = pin
-            self._apply(state, self._default_config())
+            self._apply(
+                state, self._default_config(), context.timer_name,
+                "pinned",
+            )
             return
 
         if state.skipped:
@@ -210,11 +222,17 @@ class ArcsPolicy(Policy):
                 state.degraded = (
                     state.session.failure_reason or "tuning diverged"
                 )
-            self._apply(state, self._default_config())
+            self._apply(
+                state, self._default_config(), context.timer_name,
+                "degraded",
+            )
             return
 
         point = state.session.suggest()
-        self._apply(state, config_from_point(point))
+        source = "converged" if state.session.converged else "search"
+        self._apply(
+            state, config_from_point(point), context.timer_name, source
+        )
         if "freq_ghz" in point:
             freq = point["freq_ghz"]
             freq = None if freq is None else float(freq)  # type: ignore[arg-type]
@@ -241,7 +259,18 @@ class ArcsPolicy(Policy):
             and self.replay is None
             and not state.session.failed
         ):
-            state.session.report(self._objective_value(context))
+            value = self._objective_value(context)
+            accepted = state.session.report(value)
+            tb = bus()
+            if tb.enabled:
+                tb.count("policy.reports")
+                tb.emit(
+                    "policy.report",
+                    region=context.timer_name,
+                    objective=value,
+                    accepted=accepted,
+                    cap_w=self._cap_w(),
+                )
 
     def _objective_value(self, context: TimerEventContext) -> float:
         if self.objective == "time" or context.record is None:
@@ -337,9 +366,21 @@ class ArcsPolicy(Policy):
             strategy,
             guard=MeasurementGuard(),
             strategy_factory=restarted_strategy,
+            name=region_name,
         )
 
-    def _apply(self, state: RegionTuningState, config: OMPConfig) -> None:
+    def _cap_w(self) -> float | None:
+        return self.runtime.node.rapl.effective_cap_w(
+            0, self.runtime.node.now_s
+        )
+
+    def _apply(
+        self,
+        state: RegionTuningState,
+        config: OMPConfig,
+        region: str | None = None,
+        source: str = "search",
+    ) -> None:
         """Drive the runtime to ``config``; only touches the runtime
         routines whose value actually changes (each call costs real
         configuration-changing overhead)."""
@@ -352,6 +393,18 @@ class ArcsPolicy(Policy):
         ):
             self.runtime.omp_set_schedule(config.schedule, config.chunk)
         state.applied = config
+        tb = bus()
+        if tb.enabled:
+            tb.count("policy.applies")
+            tb.count(_APPLY_COUNTERS.get(source)
+                     or f"policy.applies.{source}")
+            tb.emit(
+                "policy.apply",
+                region=region or "?",
+                config=config.label(),
+                source=source,
+                cap_w=self._cap_w(),
+            )
 
     # ------------------------------------------------------------------
     # results

@@ -249,6 +249,7 @@ def power_sweep(
     timeout_s: float | None = None,
     executor: ParallelSweepExecutor | None = None,
     fault_plan: FaultPlan | None = None,
+    telemetry_dir: str | None = None,
 ) -> PowerSweep:
     """Run default / ARCS-Online / ARCS-Offline at each power level.
 
@@ -257,7 +258,9 @@ def power_sweep(
     memoizes completed cells (and the exhaustive tuning history of the
     offline cells) on disk.  The defaults - one worker, no cache -
     reproduce the original strictly-serial in-process behaviour
-    bit-for-bit.
+    bit-for-bit.  ``telemetry_dir`` makes every cell write its own
+    ``task-<run_id>.jsonl`` trace there (telemetry never changes what
+    is measured, only what is recorded).
     """
     if executor is None:
         executor = ParallelSweepExecutor(
@@ -292,6 +295,7 @@ def power_sweep(
                     seed=seed,
                     history_path=history_path,
                     fault_plan=fault_plan,
+                    telemetry_dir=telemetry_dir,
                 )
             )
             labels.append(label)

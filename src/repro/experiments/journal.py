@@ -100,6 +100,34 @@ class SweepJournal:
             valid_bytes += len(raw)
         return completed
 
+    def run_ids(self) -> dict[str, str]:
+        """Telemetry run-ids of journaled cells, keyed by digest.
+
+        Lets ``sweep --resume`` (and ``repro trace``) associate each
+        completed cell with its ``task-<run_id>.jsonl`` trace file.
+        Cells journaled without telemetry are absent.
+        """
+        ids: dict[str, str] = {}
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return ids
+        for raw in data.splitlines():
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                continue
+            try:
+                blob = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail; load() handles truncation
+            if not isinstance(blob, dict) or blob.get("kind") == "header":
+                continue
+            digest = blob.get("digest")
+            run_id = blob.get("run_id")
+            if isinstance(digest, str) and isinstance(run_id, str):
+                ids[digest] = run_id
+        return ids
+
     # ------------------------------------------------------------------
     def read_header(self) -> dict | None:
         """The sweep-identity header, or ``None`` for a missing /
@@ -138,18 +166,29 @@ class SweepJournal:
         )
 
     def append(
-        self, digest: str, label: str, result: StrategyRunResult
+        self,
+        digest: str,
+        label: str,
+        result: StrategyRunResult,
+        run_id: str | None = None,
     ) -> None:
         """Record one completed cell durably (flush + fsync) so the
-        entry survives the process dying immediately after."""
-        self._append_line(
-            {
-                "schema": JOURNAL_SCHEMA_VERSION,
-                "digest": digest,
-                "task": label,
-                "result": result_to_json(result),
-            }
-        )
+        entry survives the process dying immediately after.
+
+        ``run_id`` is the cell's telemetry run identifier; carrying it
+        here lets a resumed sweep stitch the per-cell trace files of a
+        killed sweep into one timeline (``load`` tolerates its absence
+        in legacy journals).
+        """
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "digest": digest,
+            "task": label,
+            "result": result_to_json(result),
+        }
+        if run_id is not None:
+            record["run_id"] = run_id
+        self._append_line(record)
 
     def _append_line(self, record: dict) -> None:
         line = json.dumps(record, separators=(",", ":"))

@@ -28,6 +28,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.history import CorruptHistoryError, HistoryStore
 from repro.experiments.cache import ExperimentCache, experiment_digest
@@ -44,6 +45,8 @@ from repro.experiments.runner import (
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import DEFAULT_HANG_S, FaultPlan, plan_fingerprint
 from repro.machine.spec import MachineSpec
+from repro.telemetry.bus import TelemetryBus, bus, install
+from repro.telemetry.sinks import JsonlSink
 from repro.workloads.base import Application
 
 #: strategy aliases that replay a shared tuned history when one is
@@ -93,6 +96,10 @@ class SweepTask:
     #: deterministic fault plan threaded into the cell's runtimes
     #: (``None`` = clean).
     fault_plan: FaultPlan | None = None
+    #: directory receiving this cell's telemetry JSONL (``None`` =
+    #: telemetry off).  Deliberately *not* part of :meth:`setup`, so
+    #: turning tracing on never invalidates cache/journal digests.
+    telemetry_dir: str | None = None
 
     def setup(self) -> ExperimentSetup:
         return ExperimentSetup(
@@ -110,6 +117,16 @@ class SweepTask:
         cap = "TDP" if self.cap_w is None else f"{self.cap_w:g}W"
         return f"{self.app.label}@{cap}/{self.strategy}"
 
+    def run_id(self) -> str:
+        """Deterministic telemetry run identifier for this cell (a
+        prefix of the experiment digest, so it also keys the cache and
+        journal)."""
+        return task_run_id(self)
+
+
+def task_run_id(task: SweepTask) -> str:
+    return experiment_digest(task.app, task.setup(), task.strategy)[:12]
+
 
 def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     """Execute one sweep cell (runs inside worker processes).
@@ -117,6 +134,12 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     Offline cells with a ``history_path`` load the shared tuned
     history first; when it already holds this experiment key the
     exhaustive tuning phase is skipped entirely.
+
+    With a ``telemetry_dir``, the cell runs under its own telemetry
+    bus writing ``task-<run_id>.jsonl`` into that directory - one file
+    per cell, whether the cell executes inline or in a worker process,
+    so a sweep's trace files merge into one timeline regardless of how
+    the work was scheduled.
     """
     history = None
     if (
@@ -124,9 +147,31 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
         and task.strategy.lower() in _OFFLINE_STRATEGIES
     ):
         history = HistoryStore(task.history_path)
-    return run_strategy(
-        task.strategy, task.app, task.setup(), history=history
+    if task.telemetry_dir is None:
+        return run_strategy(
+            task.strategy, task.app, task.setup(), history=history
+        )
+    run_id = task_run_id(task)
+    task_bus = TelemetryBus(enabled=True)
+    task_bus.add_sink(
+        JsonlSink(Path(task.telemetry_dir) / f"task-{run_id}.jsonl")
     )
+    task_bus.meta(
+        run_id=run_id,
+        task=task.label,
+        strategy=task.strategy,
+        machine=task.spec.name,
+        cap_w=task.cap_w,
+        seed=task.seed,
+    )
+    previous = install(task_bus)
+    try:
+        return run_strategy(
+            task.strategy, task.app, task.setup(), history=history
+        )
+    finally:
+        install(previous)
+        task_bus.close()
 
 
 class _InjectedWorkerCrash(RuntimeError):
@@ -174,6 +219,9 @@ class SweepTaskError(RuntimeError):
         self.attempts = attempts
         self.cause = cause
         self.retryable = retryable
+        #: the parent-side flight recorder's last-N telemetry events
+        #: at failure time (empty when telemetry is disabled).
+        self.flight: tuple[dict, ...] = bus().flight.dump()
         self.worker_traceback = "".join(
             traceback.format_exception(
                 type(cause), cause, cause.__traceback__
@@ -297,14 +345,27 @@ class ParallelSweepExecutor:
                 self.journal.clear()
                 self.journal.write_header(header)
 
+        tb = bus()
         results: list[StrategyRunResult | None] = [None] * len(tasks)
         pending: list[int] = []
         for i, task in enumerate(tasks):
-            done = journaled.get(self._digest(task))
+            from_journal = journaled.get(self._digest(task))
+            done = from_journal
             if done is None:
                 done = self._cache_get(task)
             if done is not None:
                 results[i] = done
+                if tb.enabled:
+                    source = (
+                        "journal" if from_journal is not None else "cache"
+                    )
+                    tb.count(f"sweep.tasks_{source}")
+                    tb.emit(
+                        "sweep.task_reused",
+                        task=task.label,
+                        run_id=task.run_id(),
+                        source=source,
+                    )
             else:
                 pending.append(i)
 
@@ -361,7 +422,21 @@ class ParallelSweepExecutor:
         if self.cache is not None:
             self.cache.put(task.app, task.setup(), task.strategy, result)
         if self.journal is not None:
-            self.journal.append(self._digest(task), task.label, result)
+            self.journal.append(
+                self._digest(task),
+                task.label,
+                result,
+                run_id=task.run_id(),
+            )
+        tb = bus()
+        if tb.enabled:
+            tb.count("sweep.tasks_completed")
+            tb.emit(
+                "sweep.task_done",
+                task=task.label,
+                run_id=task.run_id(),
+                time_s=result.time_s,
+            )
 
     def _attempt_fn(
         self, task: SweepTask
@@ -383,6 +458,12 @@ class ParallelSweepExecutor:
         attempt = 0
         while True:
             attempt += 1
+            bus().emit(
+                "sweep.task_start",
+                task=task.label,
+                run_id=task.run_id(),
+                attempt=attempt,
+            )
             try:
                 result = self._attempt_fn(task)(task)
             except Exception as exc:
@@ -392,6 +473,13 @@ class ParallelSweepExecutor:
                     ) from exc
                 if attempt > self.retries:
                     raise SweepTaskError(task, attempt, exc) from exc
+                bus().emit(
+                    "sweep.task_retry",
+                    task=task.label,
+                    run_id=task.run_id(),
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
             else:
                 self._record(task, result)
                 return result
@@ -409,10 +497,21 @@ class ParallelSweepExecutor:
         try:
             # (task index, attempt number, future); failed attempts
             # append their retry to the end of the queue.
-            inflight: list[tuple[int, int, Future]] = [
-                (i, 1, pool.submit(self._attempt_fn(tasks[i]), tasks[i]))
-                for i in pending
-            ]
+            inflight: list[tuple[int, int, Future]] = []
+            for i in pending:
+                bus().emit(
+                    "sweep.task_start",
+                    task=tasks[i].label,
+                    run_id=tasks[i].run_id(),
+                    attempt=1,
+                )
+                inflight.append(
+                    (
+                        i,
+                        1,
+                        pool.submit(self._attempt_fn(tasks[i]), tasks[i]),
+                    )
+                )
             cursor = 0
             while cursor < len(inflight):
                 i, attempt, future = inflight[cursor]
@@ -428,6 +527,13 @@ class ParallelSweepExecutor:
                         raise SweepTaskError(
                             tasks[i], attempt, exc
                         ) from exc
+                    bus().emit(
+                        "sweep.task_retry",
+                        task=tasks[i].label,
+                        run_id=tasks[i].run_id(),
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                    )
                     inflight.append(
                         (
                             i,

@@ -31,6 +31,7 @@ import json
 from pathlib import Path
 
 from repro.core.checkpoint import CheckpointError
+from repro.telemetry.bus import bus
 from repro.util.atomicio import atomic_write_text
 
 #: bump whenever the checkpoint layout or any snapshot format changes;
@@ -54,8 +55,19 @@ class SimulatedKill(RuntimeError):
 
 
 def write_run_checkpoint(path: str | Path, blob: dict) -> Path:
-    """Atomically persist one checkpoint blob."""
-    return atomic_write_text(path, json.dumps(blob))
+    """Atomically persist one checkpoint blob.
+
+    ``allow_nan=False`` keeps the file strict JSON: an ``inf``/``NaN``
+    sentinel leaking into a snapshot fails the write loudly instead of
+    producing a file other parsers reject.
+    """
+    text = json.dumps(blob, allow_nan=False)
+    result = atomic_write_text(path, text)
+    tb = bus()
+    if tb.enabled:
+        tb.count("checkpoint.writes")
+        tb.emit("checkpoint.write", bytes=len(text))
+    return result
 
 
 def load_run_checkpoint(path: str | Path) -> dict:

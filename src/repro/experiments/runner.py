@@ -50,6 +50,7 @@ from repro.machine.spec import MachineSpec
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
 from repro.supervise import RegionSupervisor, SuperviseConfig
+from repro.telemetry.bus import bus
 from repro.util.rng import derive_seed
 from repro.util.stats import summarize_runs
 from repro.workloads.base import (
@@ -271,7 +272,10 @@ def run_default(
             if applier is not None
             else None
         )
-        results.append(run_application(app, runtime, observer=observer))
+        with bus().span("run.repeat", strategy="default", repeat=r):
+            results.append(
+                run_application(app, runtime, observer=observer)
+            )
         if applier is not None:
             cap_changes = list(applier.log)
     time_s, energy_j = _summarize(setup, results)
@@ -489,15 +493,18 @@ def run_arcs_online(
                     Path(checkpoint_path),
                 )
 
-        results.append(
-            run_application(
-                app,
-                runtime,
-                execute=supervisor.execute,
-                observer=observer,
-                progress=progress,
+        with bus().span(
+            "run.repeat", strategy=strategy_label, repeat=r
+        ):
+            results.append(
+                run_application(
+                    app,
+                    runtime,
+                    execute=supervisor.execute,
+                    observer=observer,
+                    progress=progress,
+                )
             )
-        )
         configs = arcs.chosen_configs()
         overhead = arcs.overhead_report()
         fallbacks.update(arcs.degradations())
@@ -561,7 +568,12 @@ def run_arcs_offline(
         )
         arcs.attach()
         while tuning_runs < MAX_TUNING_RUNS:
-            run_application(app, runtime)
+            with bus().span(
+                "run.tuning",
+                strategy="arcs-offline",
+                tuning_run=tuning_runs,
+            ):
+                run_application(app, runtime)
             tuning_runs += 1
             if arcs.converged:
                 break
@@ -592,7 +604,12 @@ def run_arcs_offline(
             if applier is not None
             else None
         )
-        results.append(run_application(app, runtime, observer=observer))
+        with bus().span(
+            "run.repeat", strategy="arcs-offline", repeat=r
+        ):
+            results.append(
+                run_application(app, runtime, observer=observer)
+            )
         overhead = arcs.overhead_report()
         if applier is not None:
             cap_changes = list(applier.log)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.telemetry.bus import bus
 from repro.util.rng import rng_for
 
 
@@ -68,6 +69,15 @@ class FaultInjector:
                     continue
             self._fires[index] = self._fires.get(index, 0) + 1
             self.events.append(FaultEvent(site, spec.action, n))
+            tb = bus()
+            if tb.enabled:
+                tb.count("faults.fired")
+                tb.emit(
+                    "fault.fired",
+                    site=site,
+                    action=spec.action,
+                    occurrence=n,
+                )
             return spec
         return None
 

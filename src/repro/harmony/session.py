@@ -28,6 +28,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.harmony.space import SearchSpace
+from repro.telemetry.bus import bus
 
 
 class InvalidMeasurementError(ValueError):
@@ -148,12 +149,15 @@ class TuningSession:
         strategy: SearchStrategy,
         guard: MeasurementGuard | None = None,
         strategy_factory: Callable[[], SearchStrategy] | None = None,
+        name: str | None = None,
     ) -> None:
         self._check_space(space, strategy)
         self.space = space
         self.strategy = strategy
         self.guard = guard
         self.strategy_factory = strategy_factory
+        #: label used in telemetry events (ARCS passes the region key).
+        self.name = name
         self.stats = SessionStats()
         #: objectives accepted while searching (pre-convergence) - the
         #: raw material of the Section III-C search-overhead estimate.
@@ -264,6 +268,7 @@ class TuningSession:
         if self._best is None or value < self._best[1]:
             self._best = (self._outstanding, value)
         self._events.append(("tell", self._outstanding, value))
+        bus().count("harmony.tells")
         self.strategy.tell(self._outstanding, value)
         self._outstanding = None
         if self.strategy.converged and (
@@ -280,6 +285,12 @@ class TuningSession:
         assert self.guard is not None
         self.stats.rejected += 1
         self._consecutive_rejects += 1
+        bus().emit(
+            "harmony.reject",
+            region=self.name,
+            value=value,
+            consecutive=self._consecutive_rejects,
+        )
         if self._consecutive_rejects <= self.guard.max_rejects:
             return  # keep the candidate outstanding -> re-measure
         if (
@@ -293,6 +304,11 @@ class TuningSession:
             self._check_space(self.space, strategy)
             self.strategy = strategy
             self._outstanding = None
+            bus().emit(
+                "harmony.restart",
+                region=self.name,
+                restarts=self.stats.restarts,
+            )
             return
         self.failure_reason = (
             f"measurements diverged: {self.stats.rejected} rejected "
@@ -300,6 +316,11 @@ class TuningSession:
             "simplex restart(s)"
         )
         self._outstanding = None
+        bus().emit(
+            "harmony.failed",
+            region=self.name,
+            reason=self.failure_reason,
+        )
 
     # ------------------------------------------------------------------
     # checkpointing

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.harmony.session import SearchStrategy
 from repro.harmony.space import SearchSpace
+from repro.telemetry.bus import bus
 from repro.util.validation import require_positive
 
 
@@ -115,10 +116,12 @@ class SimplexSearchBase(SearchStrategy):
         """Measure the lattice point nearest ``x`` (cached)."""
         key = self._round(x)
         if key in self._cache:
+            bus().count("simplex.cache_hits")
             return self._cache[key]
         if self._evals >= self.max_evals:
             raise BudgetExhausted
         self._evals += 1
+        bus().count("simplex.evals")
         value = yield key
         self._cache[key] = value
         if self._best is None or value < self._best[1]:

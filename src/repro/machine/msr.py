@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.bus import bus
+
 # Architectural MSR addresses (Intel SDM vol. 4).
 MSR_RAPL_POWER_UNIT = 0x606
 MSR_PKG_POWER_LIMIT = 0x610
@@ -51,6 +53,7 @@ class MsrFile:
     def read(self, socket: int, address: int) -> int:
         """Read a 64-bit MSR; unknown addresses fault like rdmsr would."""
         self._check_socket(socket)
+        bus().count("msr.reads")
         try:
             return self._regs[(socket, address)]
         except KeyError:
@@ -61,6 +64,7 @@ class MsrFile:
     def write(self, socket: int, address: int, value: int) -> None:
         """Write a 64-bit MSR. Energy-status counters are read-only."""
         self._check_socket(socket)
+        bus().count("msr.writes")
         if address in (MSR_PKG_ENERGY_STATUS, MSR_DRAM_ENERGY_STATUS):
             raise PermissionError("energy-status MSRs are read-only")
         if (socket, address) not in self._regs:

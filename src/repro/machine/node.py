@@ -21,6 +21,7 @@ from repro.machine.power import PowerModel
 from repro.machine.rapl import Rapl
 from repro.machine.spec import MachineSpec
 from repro.machine.topology import Placement, Topology
+from repro.telemetry.bus import bus
 from repro.util.validation import require_nonnegative
 
 
@@ -62,6 +63,10 @@ class SimulatedNode:
         #: looking into the DVFS strategy.  We plan to include this
         #: policy in the future." - this is that extension's knob.
         self.frequency_limit_ghz: float | None = None
+        # the newest node's simulated clock becomes the telemetry
+        # timestamp source (the bus keeps earlier nodes' timelines
+        # monotone via its rebind offset).
+        bus().bind_clock(lambda: self._now_s)
 
     # ------------------------------------------------------------------
     # clock
@@ -159,8 +164,15 @@ class SimulatedNode:
         """
         delta = after_j - before_j
         span = self.rapl.counter_span_j(0)
+        corrected = delta < 0 and span > 0
         while delta < 0 and span > 0:
             delta += span
+        if corrected:
+            bus().emit(
+                "node.wrap_corrected",
+                raw_delta_j=after_j - before_j,
+                corrected_delta_j=delta,
+            )
         return delta
 
     def read_dram_energy_j(self) -> float:
@@ -210,3 +222,6 @@ class SimulatedNode:
         self.rapl = Rapl(self.spec, self.msr, faults=self.faults)
         self._now_s = 0.0
         self.frequency_limit_ghz = None
+        # pin the telemetry offset: the rebooted clock restarts at zero
+        # but the run-wide virtual timeline must not go backwards.
+        bus().bind_clock(lambda: self._now_s)

@@ -34,6 +34,7 @@ from repro.machine.msr import (
     MsrFile,
 )
 from repro.machine.spec import MachineSpec
+from repro.telemetry.bus import bus
 from repro.util.validation import require_nonnegative, require_positive
 
 _COUNTER_BITS = 32
@@ -144,12 +145,22 @@ class Rapl:
         if self.faults is not None:
             spec = self.faults.draw("rapl.cap_write")
             if spec is not None and spec.action == "reject":
+                bus().emit(
+                    "rapl.cap_write_rejected",
+                    cap_w=cap_w,
+                    socket=next(iter(targets)),
+                )
                 raise CapWriteRejectedError(cap_w, next(iter(targets)))
         for s in targets:
             state = self._caps[s]
             state.pending_cap_w = cap_w
             state.cap_applies_at_s = now_s + self.cap_settle_s
             self._write_limit_register(s, cap_w)
+        bus().emit(
+            "rapl.cap_write",
+            cap_w=cap_w,
+            sockets=self.spec.sockets if socket is None else 1,
+        )
 
     def effective_cap_w(self, socket: int, now_s: float) -> float | None:
         """The cap actually governing the package at ``now_s``
@@ -226,18 +237,34 @@ class Rapl:
         units_per_j = self.msr.energy_units_per_joule(socket)
         total_units = account.wraps * (1 << _COUNTER_BITS) + raw
         value = total_units / units_per_j
+        bus().count("rapl.reads")
         if self.faults is not None:
             spec = self.faults.draw("rapl.read")
             if spec is not None:
                 if spec.action == "error":
+                    bus().emit(
+                        "rapl.read_error",
+                        domain=domain.value,
+                        socket=socket,
+                    )
                     raise RaplReadError(domain, socket)
                 if spec.action == "stale":
                     # the counter has not refreshed since the last read
+                    bus().emit(
+                        "rapl.read_stale",
+                        domain=domain.value,
+                        socket=socket,
+                    )
                     return self._last_read_j.get((domain, socket), 0.0)
                 if spec.action == "wraparound":
                     # a read racing a 32-bit wrap: the raw counter has
                     # already rolled over but the wrap has not been
                     # accounted, so the value appears one span behind
+                    bus().emit(
+                        "rapl.read_wraparound",
+                        domain=domain.value,
+                        socket=socket,
+                    )
                     return value - self.counter_span_j(socket)
         self._last_read_j[(domain, socket)] = value
         return value

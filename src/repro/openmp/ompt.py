@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.openmp.records import RegionExecutionRecord
+from repro.telemetry.bus import bus
 
 
 class OmptEvent(Enum):
@@ -27,6 +28,14 @@ class OmptEvent(Enum):
     IMPLICIT_TASK = "ompt_event_implicit_task"
     WORK_LOOP = "ompt_event_work_loop"
     SYNC_REGION_BARRIER = "ompt_event_sync_region_barrier"
+
+
+#: per-event dispatch counter names, precomputed because dispatch runs
+#: five times per region invocation - formatting them inline shows up
+#: in the telemetry overhead budget.
+_DISPATCH_COUNTERS = {
+    event: f"ompt.dispatch.{event.name.lower()}" for event in OmptEvent
+}
 
 
 @dataclass(frozen=True)
@@ -97,5 +106,9 @@ class OmptInterface:
         return pid
 
     def dispatch(self, event: OmptEvent, payload: object) -> None:
+        tb = bus()
+        if tb.enabled:
+            tb.count("ompt.dispatch")
+            tb.count(_DISPATCH_COUNTERS[event])
         for callback in self._callbacks.get(event, ()):
             callback(payload)

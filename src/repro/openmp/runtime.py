@@ -26,6 +26,7 @@ from repro.openmp.ompt import (
 from repro.openmp.records import RegionExecutionRecord
 from repro.openmp.region import RegionProfile
 from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.telemetry.bus import bus
 from repro.util.rng import rng_for
 from repro.util.validation import require_nonnegative
 
@@ -194,8 +195,24 @@ class OpenMPRuntime:
                     timestamp_s=self.node.now_s,
                 ),
             )
-        record = self.engine.execute(region, self.current_config())
-        record = self._apply_noise(record)
+        tb = bus()
+        if tb.enabled:
+            begin, seq = tb.span_begin()
+            config = self.current_config()
+            record = self.engine.execute(region, config)
+            record = self._apply_noise(record)
+            tb.span_finish(
+                "omp.region", begin, seq,
+                region=region.name,
+                config=config.label(),
+                time_s=record.time_s,
+                energy_j=record.energy_j,
+            )
+            tb.count("omp.regions")
+            tb.observe("omp.region_time_s", record.time_s)
+        else:
+            record = self.engine.execute(region, self.current_config())
+            record = self._apply_noise(record)
         if ompt_active:
             self._dispatch_aggregates(region.name, parallel_id, record)
             self.ompt.dispatch(

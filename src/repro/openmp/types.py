@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 
 class ScheduleKind(Enum):
@@ -48,8 +49,15 @@ class OMPConfig:
     def label(self) -> str:
         """Compact label used in paper-style tables, e.g.
         ``"16, guided, 8"`` or ``"32, static, default"``."""
-        chunk = "default" if self.chunk is None else str(self.chunk)
-        return f"{self.n_threads}, {self.schedule.value}, {chunk}"
+        return _cached_label(self)
+
+
+@lru_cache(maxsize=None)
+def _cached_label(config: OMPConfig) -> str:
+    # telemetry labels every applied config; the search space is tiny
+    # (hundreds of points) so memoizing beats re-formatting per event
+    chunk = "default" if config.chunk is None else str(config.chunk)
+    return f"{config.n_threads}, {config.schedule.value}, {chunk}"
 
 
 def default_config(max_threads: int) -> OMPConfig:

@@ -32,6 +32,7 @@ from repro.faults.plan import DEFAULT_HANG_S
 from repro.openmp.records import RegionExecutionRecord
 from repro.openmp.region import RegionProfile
 from repro.openmp.runtime import OpenMPRuntime
+from repro.telemetry.bus import bus
 
 
 class RunAbortedError(RuntimeError):
@@ -41,6 +42,10 @@ class RunAbortedError(RuntimeError):
     def __init__(self, region: str, reason: str) -> None:
         self.region = region
         self.reason = reason
+        #: the telemetry flight recorder's last-N events at abort time
+        #: (empty when telemetry is disabled) - the post-mortem context
+        #: for what the control loop saw right before giving up.
+        self.flight: tuple[dict, ...] = bus().flight.dump()
         super().__init__(
             f"run aborted: region {region!r} kept failing after being "
             f"pinned to the default configuration ({reason}); the last "
@@ -155,6 +160,12 @@ class RegionSupervisor:
                     health.consecutive_failures = 0
                 return record
             if attempts <= self.config.max_retries:
+                bus().emit(
+                    "supervise.retry",
+                    region=region.name,
+                    attempt=attempts,
+                    failure=failure,
+                )
                 continue
             self._escalate(region.name, failure)
             attempts = 0
@@ -169,9 +180,15 @@ class RegionSupervisor:
                 f"{self.config.max_retries} retries; pinned to the "
                 "default configuration"
             )
+            bus().emit(
+                "supervise.pin", region=region_name, failure=failure
+            )
             if self.pin is not None:
                 self.pin(region_name, failure)
             return
+        bus().emit(
+            "supervise.abort", region=region_name, failure=failure
+        )
         raise RunAbortedError(region_name, failure)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""Bounded in-memory flight recorder for post-mortem dumps.
+
+The recorder keeps the last N telemetry records regardless of whether
+any sink is attached, so an aborted run can attach "what the controller
+saw, decided and did" to its exception without requiring the operator
+to have enabled file telemetry in advance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+DEFAULT_FLIGHT_SIZE = 256
+
+
+class FlightRecorder:
+    """Ring buffer of the most recent telemetry records."""
+
+    def __init__(self, size: int = DEFAULT_FLIGHT_SIZE) -> None:
+        if size < 1:
+            raise ValueError(f"flight size must be >= 1, got {size}")
+        self._records: deque[dict] = deque(maxlen=size)
+
+    def record(self, record: dict) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def dump(self, last: int | None = None) -> tuple[str, ...]:
+        """The last ``last`` records (default: all buffered) as
+        human-readable one-liners, oldest first."""
+        records = list(self._records)
+        if last is not None:
+            records = records[-last:]
+        return tuple(format_record(r) for r in records)
+
+
+def format_record(record: dict) -> str:
+    """One flight-recorder line for a span/event record."""
+    kind = record.get("type", "?")
+    ts = record.get("ts")
+    head = f"[{ts:.6f}]" if isinstance(ts, (int, float)) else "[-]"
+    name = record.get("name", "?")
+    parts = [head, name]
+    if kind == "span":
+        dur = record.get("dur")
+        if isinstance(dur, (int, float)):
+            parts.append(f"dur={dur:.6f}s")
+    attrs = record.get("attrs") or {}
+    parts.extend(f"{k}={_fmt(v)}" for k, v in sorted(attrs.items()))
+    return " ".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,97 @@
+"""In-memory metrics registry: counters, gauges, histograms.
+
+Metrics are aggregated in memory (no per-increment event records - a
+counter bumped once per OMPT dispatch would dominate the log) and
+flushed as one sorted block of ``"metric"`` records when the bus
+closes, so the JSONL stays deterministic and compact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HistogramStats:
+    """Streaming summary of an observed distribution."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """All metric state for one bus."""
+
+    counters: defaultdict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramStats] = field(default_factory=dict)
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        self.counters[name] += delta
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = HistogramStats()
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready ``"metric"`` records, sorted by (kind, name).
+
+        ``min``/``max`` of an empty histogram are ``None`` - never
+        ``Infinity``, which strict JSON cannot represent.
+        """
+        records: list[dict] = []
+        for name in sorted(self.counters):
+            records.append(
+                {
+                    "type": "metric",
+                    "kind": "counter",
+                    "name": name,
+                    "value": self.counters[name],
+                }
+            )
+        for name in sorted(self.gauges):
+            records.append(
+                {
+                    "type": "metric",
+                    "kind": "gauge",
+                    "name": name,
+                    "value": self.gauges[name],
+                }
+            )
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            records.append(
+                {
+                    "type": "metric",
+                    "kind": "histogram",
+                    "name": name,
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "mean": hist.mean,
+                }
+            )
+        return records

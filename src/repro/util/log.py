@@ -1,0 +1,161 @@
+"""Structured logging for CLI tools and harness scripts.
+
+One tiny module instead of ``print`` scattered across tools: every
+line goes through a :class:`Logger` that renders either a human
+format (``repro[soak] INFO message key=value``) or single-line JSON
+(``{"level":"info","logger":"soak","msg":...,...}``), selected by
+configuration.  Levels follow the usual ladder (debug < info <
+warning < error); suppressed lines cost one integer compare.
+
+Configuration precedence (first match wins):
+
+1. an explicit :func:`configure` call (the CLI's ``--log-level``);
+2. the ``REPRO_LOG`` environment variable - ``REPRO_LOG=debug`` or
+   ``REPRO_LOG=debug:json`` (level, optionally ``:json``/``:human``);
+3. the defaults: level ``info``, human format, stderr.
+
+Deliberately *not* the stdlib ``logging`` module: no global handler
+registry to fight with in tests, no wall-clock timestamps (tool
+output stays byte-stable across runs at the same seed), and the JSON
+rendering matches the telemetry sinks' strict encoder
+(``allow_nan=False``, sorted keys).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, TextIO
+
+#: level names in severity order; index = numeric severity.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_NO = {name: i for i, name in enumerate(LEVELS)}
+
+
+class LogConfig:
+    """Process-wide rendering configuration shared by all loggers."""
+
+    def __init__(
+        self,
+        level: str = "info",
+        fmt: str = "human",
+        stream: TextIO | None = None,
+    ) -> None:
+        self.level_no = _parse_level(level)
+        self.fmt = _parse_fmt(fmt)
+        self.stream = stream
+
+    def resolve_stream(self) -> TextIO:
+        # late-bound so tests that swap sys.stderr still capture output
+        return self.stream if self.stream is not None else sys.stderr
+
+
+def _parse_level(level: str) -> int:
+    try:
+        return _LEVEL_NO[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from "
+            f"{', '.join(LEVELS)}"
+        ) from None
+
+
+def _parse_fmt(fmt: str) -> str:
+    fmt = fmt.strip().lower()
+    if fmt not in ("human", "json"):
+        raise ValueError(
+            f"unknown log format {fmt!r}; choose 'human' or 'json'"
+        )
+    return fmt
+
+
+def _config_from_env() -> LogConfig:
+    """``REPRO_LOG=level[:format]``; malformed values fall back to the
+    defaults rather than crashing the tool at import time."""
+    raw = os.environ.get("REPRO_LOG", "")
+    level, _, fmt = raw.partition(":")
+    try:
+        return LogConfig(level=level or "info", fmt=fmt or "human")
+    except ValueError:
+        return LogConfig()
+
+
+_CONFIG = _config_from_env()
+
+
+def configure(
+    level: str | None = None,
+    fmt: str | None = None,
+    stream: TextIO | None = None,
+) -> None:
+    """Override the process-wide log configuration (CLI flags beat the
+    ``REPRO_LOG`` environment).  ``None`` keeps the current value."""
+    if level is not None:
+        _CONFIG.level_no = _parse_level(level)
+    if fmt is not None:
+        _CONFIG.fmt = _parse_fmt(fmt)
+    if stream is not None:
+        _CONFIG.stream = stream
+
+
+class Logger:
+    """A named emitter bound to the shared configuration."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- level methods -------------------------------------------------
+    def debug(self, msg: str, **fields: Any) -> None:
+        self._log(0, msg, fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self._log(1, msg, fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self._log(2, msg, fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self._log(3, msg, fields)
+
+    # ------------------------------------------------------------------
+    def _log(self, level_no: int, msg: str, fields: dict) -> None:
+        if level_no < _CONFIG.level_no:
+            return
+        stream = _CONFIG.resolve_stream()
+        if _CONFIG.fmt == "json":
+            line = json.dumps(
+                {
+                    "level": LEVELS[level_no],
+                    "logger": self.name,
+                    "msg": msg,
+                    **fields,
+                },
+                sort_keys=True,
+                allow_nan=False,
+                default=str,
+            )
+        else:
+            suffix = "".join(
+                f" {key}={_human_value(value)}"
+                for key, value in fields.items()
+            )
+            line = (
+                f"repro[{self.name}] "
+                f"{LEVELS[level_no].upper()} {msg}{suffix}"
+            )
+        stream.write(line + "\n")
+        stream.flush()
+
+
+def _human_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def get_logger(name: str) -> Logger:
+    """The logger for ``name``; cheap enough to call at use sites."""
+    return Logger(name)

@@ -1,0 +1,448 @@
+"""Tests for the unified telemetry layer: bus, metrics, flight
+recorder, sinks, trace export, CLI surfaces and determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.cache import result_to_json
+from repro.experiments.journal import SweepJournal
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    SweepTask,
+    SweepTaskError,
+    task_run_id,
+)
+from repro.experiments.runner import ExperimentSetup, run_arcs_online
+from repro.machine.spec import crill
+from repro.supervise import RunAbortedError
+from repro.telemetry import (
+    FlightRecorder,
+    JsonlSink,
+    MetricsRegistry,
+    TelemetryBus,
+    bus,
+    export_chrome_trace,
+    install,
+    load_telemetry_dir,
+    read_jsonl,
+    render_decision_timeline,
+    render_metrics_summary,
+)
+from repro.workloads.synthetic import synthetic_application
+
+
+@pytest.fixture
+def enabled_bus(tmp_path):
+    """An installed, enabled bus writing ``out/telemetry.jsonl``;
+    always restores the disabled default afterwards."""
+    out = tmp_path / "out"
+    tb = TelemetryBus(enabled=True)
+    tb.add_sink(JsonlSink(out / "telemetry.jsonl"))
+    previous = install(tb)
+    try:
+        yield tb, out
+    finally:
+        install(previous)
+        tb.close()
+
+
+def small_app():
+    return synthetic_application(timesteps=8)
+
+
+def small_setup(**kw):
+    kw.setdefault("spec", crill())
+    kw.setdefault("repeats", 1)
+    kw.setdefault("seed", 3)
+    return ExperimentSetup(**kw)
+
+
+# ---------------------------------------------------------------------------
+# bus semantics
+# ---------------------------------------------------------------------------
+class TestBus:
+    def test_disabled_bus_records_nothing(self):
+        tb = TelemetryBus(enabled=False)
+        tb.emit("x", a=1)
+        tb.count("c")
+        tb.gauge("g", 1.0)
+        tb.observe("h", 1.0)
+        with tb.span("s") as attrs:
+            attrs["k"] = "v"  # must be accepted and discarded
+        tb.meta(run="r")
+        assert len(tb.flight) == 0
+        assert not tb.metrics.counters
+        assert not tb.metrics.histograms
+
+    def test_default_process_bus_is_disabled(self):
+        assert bus().enabled is False
+
+    def test_events_carry_monotone_seq_and_ts(self):
+        tb = TelemetryBus(enabled=True)
+        sink_records = []
+        tb.add_sink(
+            type(
+                "S", (), {
+                    "write": lambda self, r: sink_records.append(r),
+                    "flush": lambda self: None,
+                    "close": lambda self: None,
+                }
+            )()
+        )
+        clock = iter([1.0, 2.0, 3.0])
+        tb.bind_clock(lambda: next(clock))
+        tb.emit("a")
+        tb.emit("b")
+        assert [r["name"] for r in sink_records] == ["a", "b"]
+        assert sink_records[0]["seq"] < sink_records[1]["seq"]
+        assert sink_records[0]["ts"] <= sink_records[1]["ts"]
+
+    def test_clock_rebind_keeps_timeline_monotone(self):
+        tb = TelemetryBus(enabled=True)
+        tb.bind_clock(lambda: 5.0)
+        assert tb.now() == pytest.approx(5.0)
+        # a fresh repeat's node restarts its clock at zero; the bus
+        # must pin the offset so time never goes backwards
+        tb.bind_clock(lambda: 0.5)
+        assert tb.now() == pytest.approx(5.5)
+
+    def test_span_finish_matches_contextmanager_record(self):
+        records_a, records_b = [], []
+
+        def collector(records):
+            return type(
+                "S", (), {
+                    "write": lambda self, r: records.append(r),
+                    "flush": lambda self: None,
+                    "close": lambda self: None,
+                }
+            )()
+
+        cm = TelemetryBus(enabled=True)
+        cm.add_sink(collector(records_a))
+        with cm.span("omp.region", region="r") as attrs:
+            attrs["time_s"] = 0.5
+
+        fast = TelemetryBus(enabled=True)
+        fast.add_sink(collector(records_b))
+        begin, seq = fast.span_begin()
+        fast.span_finish(
+            "omp.region", begin, seq, region="r", time_s=0.5
+        )
+        assert records_a == records_b
+
+    def test_close_flushes_metrics_and_is_idempotent(self, tmp_path):
+        tb = TelemetryBus(enabled=True)
+        tb.add_sink(JsonlSink(tmp_path / "t.jsonl"))
+        tb.count("c", 2)
+        tb.close()
+        tb.close()
+        records = read_jsonl(tmp_path / "t.jsonl")
+        metric = [r for r in records if r["type"] == "metric"]
+        assert metric == [
+            {
+                "type": "metric", "kind": "counter", "name": "c",
+                "value": 2, "ts": 0.0, "seq": 1,
+            }
+        ]
+
+
+class TestMetricsRegistry:
+    def test_snapshot_sorted_and_complete(self):
+        m = MetricsRegistry()
+        m.count("b")
+        m.count("a", 2)
+        m.gauge("g", 4.5)
+        m.observe("h", 1.0)
+        m.observe("h", 3.0)
+        snap = m.snapshot()
+        assert [r["name"] for r in snap] == ["a", "b", "g", "h"]
+        hist = snap[-1]
+        assert hist["count"] == 2
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        assert hist["mean"] == pytest.approx(2.0)
+
+    def test_snapshot_is_strict_json(self):
+        m = MetricsRegistry()
+        m.count("a")
+        for record in m.snapshot():
+            json.dumps(record, allow_nan=False)
+
+
+class TestFlightRecorder:
+    def test_bounded_to_last_n(self):
+        fr = FlightRecorder(3)
+        for i in range(10):
+            fr.record({"type": "event", "name": f"e{i}", "ts": 0.0,
+                       "seq": i, "attrs": {}})
+        assert len(fr) == 3
+        dump = fr.dump()
+        assert len(dump) == 3
+        assert "e9" in dump[-1]
+
+    def test_run_aborted_error_carries_flight_dump(self):
+        tb = TelemetryBus(enabled=True)
+        previous = install(tb)
+        try:
+            tb.emit("supervise.retry", region="r", attempt=1)
+            err = RunAbortedError("r", "kept failing")
+        finally:
+            install(previous)
+        assert any("supervise.retry" in line for line in err.flight)
+
+    def test_sweep_task_error_carries_flight_dump(self):
+        tb = TelemetryBus(enabled=True)
+        previous = install(tb)
+        task = SweepTask(
+            app=small_app(), spec=crill(), cap_w=None,
+            strategy="default", repeats=1, seed=0,
+        )
+        try:
+            tb.emit("sweep.task_retry", task="t", attempt=1)
+            err = SweepTaskError(task, attempts=2, cause=ValueError("x"))
+        finally:
+            install(previous)
+        assert any("sweep.task_retry" in line for line in err.flight)
+
+
+# ---------------------------------------------------------------------------
+# sinks and export
+# ---------------------------------------------------------------------------
+class TestSinks:
+    def test_read_jsonl_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a":1}\n{"b":2}\n{"tor')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_load_telemetry_dir_requires_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_telemetry_dir(tmp_path)
+
+    def test_chrome_trace_structure(self, enabled_bus):
+        tb, out = enabled_bus
+        tb.meta(run="test")
+        with tb.span("omp.region", region="r"):
+            pass
+        tb.emit("cap.change", cap_from="tdp", cap_to="85W")
+        tb.count("c")
+        tb.close()
+        trace = json.loads(export_chrome_trace(out).read_text())
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        names = {e["name"] for e in events}
+        assert {"process_name", "omp.region", "cap.change", "c"} <= names
+        # every event is on a numbered process track
+        assert all(isinstance(e["pid"], int) for e in events)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: run, determinism, equivalence
+# ---------------------------------------------------------------------------
+class TestEndToEnd:
+    def _run_with_telemetry(self, out, seed=3):
+        tb = TelemetryBus(enabled=True)
+        tb.add_sink(JsonlSink(out / "telemetry.jsonl"))
+        previous = install(tb)
+        try:
+            result = run_arcs_online(
+                small_app(), small_setup(seed=seed)
+            )
+        finally:
+            install(previous)
+            tb.close()
+        return result
+
+    def test_event_taxonomy_present(self, tmp_path):
+        self._run_with_telemetry(tmp_path)
+        records = read_jsonl(tmp_path / "telemetry.jsonl")
+        names = {r["name"] for r in records}
+        assert "omp.region" in names        # spans
+        assert "policy.apply" in names      # decisions
+        assert "policy.report" in names     # objective feedback
+        assert "harmony.tells" in names     # search metric
+        assert "ompt.dispatch" in names     # dispatch counters
+        assert "run.repeat" in names        # runner phases
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        self._run_with_telemetry(a)
+        self._run_with_telemetry(b)
+        assert (
+            (a / "telemetry.jsonl").read_bytes()
+            == (b / "telemetry.jsonl").read_bytes()
+        )
+
+    def test_telemetry_does_not_change_results(self, tmp_path):
+        baseline = run_arcs_online(small_app(), small_setup())
+        traced = self._run_with_telemetry(tmp_path)
+        assert result_to_json(traced) == result_to_json(baseline)
+
+    def test_all_records_are_strict_json(self, tmp_path):
+        self._run_with_telemetry(tmp_path)
+        for line in (
+            (tmp_path / "telemetry.jsonl").read_text().splitlines()
+        ):
+            json.loads(line)  # parse=strict; Infinity would raise below
+            assert "Infinity" not in line and "NaN" not in line
+
+
+# ---------------------------------------------------------------------------
+# timeline / report rendering
+# ---------------------------------------------------------------------------
+class TestRendering:
+    def _loaded(self, tmp_path):
+        tb = TelemetryBus(enabled=True)
+        tb.add_sink(JsonlSink(tmp_path / "telemetry.jsonl"))
+        previous = install(tb)
+        try:
+            run_arcs_online(small_app(), small_setup(cap_w=85.0))
+        finally:
+            install(previous)
+            tb.close()
+        return load_telemetry_dir(tmp_path)
+
+    def test_decision_timeline_pairs_apply_and_report(self, tmp_path):
+        text = render_decision_timeline(self._loaded(tmp_path))
+        assert "-> accept" in text or "-> reject" in text
+        assert "objective=" in text
+        assert "[cap=85W]" in text
+
+    def test_region_filter(self, tmp_path):
+        loaded = self._loaded(tmp_path)
+        regions = {
+            r["attrs"]["region"]
+            for _, records in loaded
+            for r in records
+            if r.get("name") == "policy.apply"
+        }
+        pick = sorted(regions)[0]
+        text = render_decision_timeline(loaded, region=pick)
+        others = regions - {pick}
+        assert pick in text
+        assert not any(f" {other}:" in text for other in others)
+
+    def test_metrics_summary_table(self, tmp_path):
+        text = render_metrics_summary(self._loaded(tmp_path))
+        assert "policy.applies" in text
+        assert "counter" in text
+        assert "histogram" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_run_telemetry_writes_jsonl_and_trace(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "out"
+        code = main(
+            [
+                "run", "--app", "synthetic", "--strategy",
+                "arcs-online", "--repeats", "1",
+                "--telemetry", str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "telemetry.jsonl").exists()
+        trace = json.loads((out / "trace.json").read_text())
+        assert trace["traceEvents"]
+        # the meta header identifies the run
+        meta = [
+            r for r in read_jsonl(out / "telemetry.jsonl")
+            if r["type"] == "meta"
+        ]
+        assert meta and meta[0]["attrs"]["strategy"] == "arcs-online"
+
+    def test_trace_and_report_commands(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(
+            [
+                "run", "--app", "synthetic", "--strategy",
+                "arcs-online", "--repeats", "1",
+                "--telemetry", str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(out)]) == 0
+        timeline = capsys.readouterr().out
+        assert "objective=" in timeline
+        assert main(["report", "--telemetry", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "policy.applies" in report
+
+    def test_trace_missing_dir_is_friendly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["trace", str(tmp_path / "nope")])
+
+    def test_sweep_telemetry_writes_per_task_files(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "tel"
+        code = main(
+            [
+                "sweep", "--app", "synthetic", "--repeats", "1",
+                "--no-cache", "--telemetry", str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "sweep.jsonl").exists()
+        assert list(out.glob("task-*.jsonl"))
+        assert (out / "trace.json").exists()
+        parent = read_jsonl(out / "sweep.jsonl")
+        names = {r["name"] for r in parent}
+        assert "sweep.task_start" in names
+        assert "sweep.task_done" in names
+
+
+# ---------------------------------------------------------------------------
+# journal run-id stitching
+# ---------------------------------------------------------------------------
+class TestJournalRunIds:
+    def test_journal_records_run_id_and_resume_reuses_it(
+        self, tmp_path
+    ):
+        journal_path = tmp_path / "sweep.journal"
+        telemetry = tmp_path / "tel"
+        task = SweepTask(
+            app=small_app(), spec=crill(), cap_w=None,
+            strategy="default", repeats=1, seed=0,
+            telemetry_dir=str(telemetry),
+        )
+        executor = ParallelSweepExecutor(
+            journal=SweepJournal(journal_path)
+        )
+        executor.run([task])
+        run_id = task_run_id(task)
+        assert (telemetry / f"task-{run_id}.jsonl").exists()
+        ids = SweepJournal(journal_path).run_ids()
+        assert list(ids.values()) == [run_id]
+
+        # a resumed executor serves the cell from the journal without
+        # re-running it; the run_id mapping still ties the journaled
+        # cell to its existing trace file
+        resumed = ParallelSweepExecutor(
+            journal=SweepJournal(journal_path), resume=True
+        )
+        results = resumed.run([task])
+        assert len(results) == 1
+        assert SweepJournal(journal_path).run_ids() == ids
+
+    def test_telemetry_dir_does_not_change_digest(self):
+        plain = SweepTask(
+            app=small_app(), spec=crill(), cap_w=None,
+            strategy="default", repeats=1, seed=0,
+        )
+        traced = SweepTask(
+            app=small_app(), spec=crill(), cap_w=None,
+            strategy="default", repeats=1, seed=0,
+            telemetry_dir="/anywhere",
+        )
+        assert task_run_id(plain) == task_run_id(traced)

@@ -1,0 +1,93 @@
+"""Tests for the structured logging module."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.util import log as log_mod
+from repro.util.log import LogConfig, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def fresh_config():
+    """Isolate each test from the process-wide logging state."""
+    saved = log_mod._CONFIG
+    log_mod._CONFIG = LogConfig()
+    try:
+        yield
+    finally:
+        log_mod._CONFIG = saved
+
+
+def capture():
+    stream = io.StringIO()
+    configure(stream=stream)
+    return stream
+
+
+class TestLevels:
+    def test_default_level_suppresses_debug(self):
+        stream = capture()
+        logger = get_logger("t")
+        logger.debug("hidden")
+        logger.info("shown")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "shown" in lines[0]
+
+    def test_configure_level(self):
+        stream = capture()
+        configure(level="error")
+        logger = get_logger("t")
+        logger.warning("hidden")
+        logger.error("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure(level="loud")
+
+
+class TestFormats:
+    def test_human_format(self):
+        stream = capture()
+        get_logger("soak").info("iteration OK", kills=3, elapsed_s=1.5)
+        line = stream.getvalue().strip()
+        assert line.startswith("repro[soak] INFO iteration OK")
+        assert "kills=3" in line
+        assert "elapsed_s=1.500" in line
+
+    def test_json_format_is_strict_json(self):
+        stream = capture()
+        configure(fmt="json")
+        get_logger("smoke").error("smoke FAIL", reason="diff")
+        blob = json.loads(stream.getvalue())
+        assert blob == {
+            "level": "error",
+            "logger": "smoke",
+            "msg": "smoke FAIL",
+            "reason": "diff",
+        }
+
+    def test_human_quotes_values_with_spaces(self):
+        stream = capture()
+        get_logger("t").info("m", what="two words")
+        assert "what='two words'" in stream.getvalue()
+
+
+class TestEnv:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug:json")
+        cfg = log_mod._config_from_env()
+        assert cfg.level_no == 0
+        assert cfg.fmt == "json"
+
+    def test_malformed_env_falls_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "shouty:xml")
+        cfg = log_mod._config_from_env()
+        assert cfg.level_no == 1
+        assert cfg.fmt == "human"

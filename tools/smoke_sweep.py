@@ -3,13 +3,17 @@
 Runs the same sweep twice through a fresh cache: the first (cold) pass
 populates it, the second (warm) pass must serve every cell from disk,
 produce byte-identical results, and finish within a strict time
-budget.  Exit code 0 = pass, 1 = fail.
+budget.  With ``--telemetry-dir`` a third, uncached pass runs with
+telemetry enabled: it must produce the same results as the cold pass,
+emit the JSONL logs and a Perfetto-loadable ``trace.json``, and stay
+within ``--telemetry-overhead-factor`` of the disabled baseline.
+Exit code 0 = pass, 1 = fail.
 
 Usage::
 
     PYTHONPATH=src python tools/smoke_sweep.py
     PYTHONPATH=src python tools/smoke_sweep.py --app sp --workload B \
-        --workers 4 --warm-budget-s 5
+        --workers 4 --warm-budget-s 5 --telemetry-dir out/telemetry
 
 Intended to run in CI alongside the tier-1 tests::
 
@@ -21,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 import tempfile
 import time
 from pathlib import Path
@@ -30,7 +33,16 @@ from repro.experiments.cache import ExperimentCache, result_to_json
 from repro.experiments.figures import power_sweep
 from repro.experiments.runner import CRILL_POWER_LEVELS
 from repro.machine.spec import machine_by_name
+from repro.telemetry import (
+    JsonlSink,
+    TelemetryBus,
+    export_chrome_trace,
+    install,
+)
+from repro.util.log import configure, get_logger
 from repro.workloads.registry import application_by_name
+
+log = get_logger("smoke")
 
 
 def _encode(sweep) -> str:
@@ -41,6 +53,33 @@ def _encode(sweep) -> str:
         },
         sort_keys=True,
     )
+
+
+def _telemetry_pass(app, spec, caps, args, telemetry_dir: Path):
+    """One uncached sweep with the bus enabled; returns
+    ``(sweep, elapsed_s)``.  The parent bus collects harness lifecycle
+    events in ``sweep.jsonl``; each cell writes its own
+    ``task-<runid>.jsonl``."""
+    parent = TelemetryBus(enabled=True)
+    parent.add_sink(JsonlSink(telemetry_dir / "sweep.jsonl"))
+    parent.meta(
+        tool="smoke_sweep",
+        app=app.label,
+        machine=spec.name,
+        repeats=args.repeats,
+        workers=args.workers,
+    )
+    previous = install(parent)
+    t0 = time.perf_counter()
+    try:
+        sweep = power_sweep(
+            app, spec, caps, repeats=args.repeats,
+            workers=args.workers, telemetry_dir=str(telemetry_dir),
+        )
+    finally:
+        install(previous)
+        parent.close()
+    return sweep, time.perf_counter() - t0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,7 +97,24 @@ def main(argv: list[str] | None = None) -> int:
         "--warm-budget-s", type=float, default=5.0,
         help="max wall time allowed for the warm-cache rerun",
     )
+    parser.add_argument(
+        "--telemetry-dir", default=None,
+        help="also run an uncached telemetry-enabled pass, writing "
+        "JSONL logs and trace.json here",
+    )
+    parser.add_argument(
+        "--telemetry-overhead-factor", type=float, default=1.5,
+        help="fail if the telemetry-enabled pass takes more than this "
+        "multiple of the disabled baseline (plus a small absolute "
+        "grace for timer noise)",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+    )
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure(level=args.log_level)
 
     spec = machine_by_name(args.machine)
     app = application_by_name(args.app, args.workload)
@@ -85,9 +141,10 @@ def main(argv: list[str] | None = None) -> int:
         t_warm = time.perf_counter() - t0
 
     cells = len(cold.results)
-    print(
-        f"smoke: {app.label} on {spec.name}, {cells} cells - "
-        f"cold {t_cold:.2f} s, warm {t_warm:.2f} s"
+    log.info(
+        "sweep smoke",
+        app=app.label, machine=spec.name, cells=cells,
+        cold_s=t_cold, warm_s=t_warm,
     )
 
     failures = []
@@ -104,10 +161,43 @@ def main(argv: list[str] | None = None) -> int:
             f"warm rerun took {t_warm:.2f} s "
             f"(budget {args.warm_budget_s:.2f} s)"
         )
+
+    if args.telemetry_dir:
+        telemetry_dir = Path(args.telemetry_dir)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        traced, t_tel = _telemetry_pass(
+            app, spec, caps, args, telemetry_dir
+        )
+        trace_path = export_chrome_trace(telemetry_dir)
+        jsonl_files = sorted(telemetry_dir.glob("*.jsonl"))
+        log.info(
+            "telemetry pass",
+            telemetry_s=t_tel, baseline_s=t_cold,
+            files=len(jsonl_files), trace=str(trace_path),
+        )
+        if _encode(traced) != _encode(cold):
+            failures.append(
+                "telemetry-enabled sweep changed the measured results"
+            )
+        if not any(p.name.startswith("task-") for p in jsonl_files):
+            failures.append(
+                "telemetry pass produced no per-cell task-*.jsonl logs"
+            )
+        # 0.25 s absolute grace: sub-second CI baselines make a pure
+        # ratio gate flaky on shared runners.
+        budget = args.telemetry_overhead_factor * t_cold + 0.25
+        if t_tel > budget:
+            failures.append(
+                f"telemetry-enabled sweep took {t_tel:.2f} s; budget "
+                f"{budget:.2f} s "
+                f"({args.telemetry_overhead_factor:.2f}x disabled "
+                f"baseline {t_cold:.2f} s)"
+            )
+
     for failure in failures:
-        print(f"smoke FAIL: {failure}", file=sys.stderr)
+        log.error("smoke FAIL", reason=failure)
     if not failures:
-        print("smoke OK")
+        log.info("smoke OK")
     return 1 if failures else 0
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import math
 import random
-import sys
 import tempfile
 import time
 from pathlib import Path
@@ -40,7 +39,10 @@ from repro.experiments.resumable import (
 from repro.experiments.runner import ExperimentSetup, run_arcs_online
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.machine.spec import crill
+from repro.util.log import configure, get_logger
 from repro.workloads.synthetic import synthetic_application
+
+log = get_logger("soak")
 
 #: caps the schedule generator may flip between (crill levels + TDP).
 _CAP_LEVELS = (55.0, 70.0, 85.0, 100.0, None)
@@ -218,11 +220,13 @@ def _iteration(
                 f"{kill} diverged from the uninterrupted run "
                 f"(fields: {', '.join(differing)})"
             )
-    print(
-        f"soak iter {iteration}: {len(kills)} kill(s) across "
-        f"{total} invocation(s), "
-        f"{len(baseline.degradations)} degradation(s), "
-        f"{len(baseline.cap_changes)} cap change(s) - OK"
+    log.info(
+        "soak iteration OK",
+        iteration=iteration,
+        kills=len(kills),
+        invocations=total,
+        degradations=len(baseline.degradations),
+        cap_changes=len(baseline.cap_changes),
     )
     return len(kills)
 
@@ -237,7 +241,13 @@ def main(argv: list[str] | None = None) -> int:
         "--kill-points", type=int, default=7,
         help="random kill/resume points tested per iteration",
     )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+    )
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure(level=args.log_level)
 
     t0 = time.perf_counter()
     tested = 0
@@ -248,12 +258,13 @@ def main(argv: list[str] | None = None) -> int:
                     iteration, args.seed, args.kill_points, Path(tmp)
                 )
     except AssertionError as exc:
-        print(f"soak FAIL: {exc}", file=sys.stderr)
+        log.error("soak FAIL", reason=str(exc))
         return 1
-    print(
-        f"soak OK: {tested} kill/resume cycle(s) over "
-        f"{args.iterations} iteration(s) in "
-        f"{time.perf_counter() - t0:.1f} s"
+    log.info(
+        "soak OK",
+        cycles=tested,
+        iterations=args.iterations,
+        elapsed_s=time.perf_counter() - t0,
     )
     return 0
 
