@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 from collections.abc import Sequence
 from contextlib import contextmanager
 from pathlib import Path
@@ -38,6 +39,7 @@ from repro.experiments.runner import (
 )
 from repro.faults.inject import make_injector
 from repro.faults.plan import FaultPlan, FaultPlanError, load_fault_plan
+from repro.openmp.batch import NO_BATCH_ENV, set_batching
 from repro.supervise import RunAbortedError
 from repro.experiments.tables import table1_search_space
 from repro.machine.spec import machine_by_name
@@ -113,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the run's full event/metric stream "
                           "as telemetry.jsonl plus a Perfetto-loadable "
                           "trace.json under DIR")
+    run.add_argument("--no-batch", action="store_true",
+                     help="disable batched configuration evaluation "
+                          "(results are byte-identical either way; "
+                          "escape hatch for debugging)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -154,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record harness lifecycle events (sweep.jsonl) and one "
              "task-<runid>.jsonl per executed cell under DIR, plus a "
              "merged trace.json",
+    )
+    sweep.add_argument(
+        "--no-batch", action="store_true",
+        help="disable batched configuration evaluation in every cell "
+             "(including worker processes)",
     )
 
     trace = sub.add_parser(
@@ -233,7 +244,16 @@ def _load_capsched(path: str | None) -> CapSchedule | None:
         raise SystemExit(f"error: {exc}") from exc
 
 
+def _apply_no_batch(args: argparse.Namespace) -> None:
+    """Honour ``--no-batch``: flip the process-wide switch and export
+    the env var so forked sweep workers inherit the choice."""
+    if getattr(args, "no_batch", False):
+        os.environ[NO_BATCH_ENV] = "1"
+        set_batching(False)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
+    _apply_no_batch(args)
     spec = machine_by_name(args.machine)
     app = application_by_name(args.app, args.workload)
     try:
@@ -318,6 +338,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
+    _apply_no_batch(args)
     spec = machine_by_name(args.machine)
     app = application_by_name(args.app, args.workload)
     caps = (

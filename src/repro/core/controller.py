@@ -40,6 +40,7 @@ class ARCS:
         cap_aware: bool = False,
         objective: str = "time",
         seed: int = 0,
+        batch: bool | None = None,
     ) -> None:
         if replay:
             if history is None or history_key is None:
@@ -66,6 +67,7 @@ class ARCS:
             cap_aware=cap_aware,
             objective=objective,
             seed=seed,
+            batch=batch,
         )
         self._attached = False
         self._config_calls_at_attach = 0

@@ -41,6 +41,7 @@ from repro.core.overhead import search_overhead_s
 from repro.harmony.engine import make_strategy
 from repro.harmony.session import MeasurementGuard, TuningSession
 from repro.harmony.space import SearchSpace
+from repro.openmp.batch import batching_enabled
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig, default_config
 from repro.telemetry.bus import bus
@@ -99,6 +100,12 @@ class RegionTuningState:
     #: can rebuild the session identically without re-running the
     #: warm-start lookup against a different regions dict.
     session_start: tuple[int, ...] | None = None
+    #: restart count at the last batched-prefetch hint; -1 = never
+    #: hinted.  Re-hinting happens once per strategy instance (session
+    #: start and each divergence restart), when the strategy's preview
+    #: is worth a vectorized prefetch.  Not checkpointed - a restored
+    #: region simply re-hints on its next execution.
+    hinted_restarts: int = -1
 
 
 class ArcsPolicy(Policy):
@@ -118,6 +125,7 @@ class ArcsPolicy(Policy):
         cap_aware: bool = False,
         objective: str = "time",
         seed: int = 0,
+        batch: bool | None = None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -147,6 +155,10 @@ class ArcsPolicy(Policy):
         #: trusting configurations tuned for the old level.
         self.cap_aware = cap_aware
         self.seed = seed
+        #: batched-prefetch hinting: ``True``/``False`` force it on or
+        #: off for this policy; ``None`` follows the process-wide
+        #: :func:`repro.openmp.batch.batching_enabled` switch.
+        self.batch = batch
         self.regions: dict[str, RegionTuningState] = {}
         #: regions the watchdog pinned to the default configuration
         #: (region name -> reason).  A pinned region is never tuned
@@ -227,6 +239,12 @@ class ArcsPolicy(Policy):
                 "degraded",
             )
             return
+
+        if self._batching() and (
+            state.hinted_restarts != state.session.stats.restarts
+        ):
+            state.hinted_restarts = state.session.stats.restarts
+            self._hint_probes(context.timer_name, state.session)
 
         point = state.session.suggest()
         source = "converged" if state.session.converged else "search"
@@ -329,6 +347,32 @@ class ArcsPolicy(Policy):
 
     def _default_config(self) -> OMPConfig:
         return default_config(self.runtime.node.spec.total_hw_threads)
+
+    def _batching(self) -> bool:
+        if self.batch is not None:
+            return self.batch
+        return batching_enabled()
+
+    def _hint_probes(
+        self, region_name: str, session: TuningSession
+    ) -> None:
+        """Pass the session's probe preview to the runtime as a
+        batched-prefetch hint.  Happens once per strategy instance -
+        the preview covers the configs the strategy will definitely ask
+        for up front (the whole exhaustive/random plan, a simplex's
+        initial vertices); later asks depend on measurements and run
+        through the scalar path unchanged."""
+        preview = session.probe_preview()
+        if not preview:
+            return
+        configs: list[OMPConfig] = []
+        seen: set[OMPConfig] = set()
+        for indices in preview:
+            config = config_from_point(self.space.decode(indices))
+            if config not in seen:
+                seen.add(config)
+                configs.append(config)
+        self.runtime.hint_probes(region_name, tuple(configs))
 
     def _new_session(
         self, region_name: str, start: tuple[int, ...] | None = None

@@ -326,6 +326,7 @@ def run_arcs_online(
     resume_from: str | Path | None = None,
     supervise: SuperviseConfig | None = None,
     kill_after: int | None = None,
+    batch: bool | None = None,
 ) -> StrategyRunResult:
     """ARCS-Online: Nelder-Mead tunes within the measured run.
 
@@ -425,6 +426,7 @@ def run_arcs_online(
             seed=derive_seed(setup.seed, "online", r),
             selective_threshold_s=selective_threshold_s,
             cap_aware=cap_aware,
+            batch=batch,
         )
         arcs.attach()
         supervisor = RegionSupervisor(
@@ -543,6 +545,7 @@ def run_arcs_offline(
     app: Application,
     setup: ExperimentSetup,
     history: HistoryStore | None = None,
+    batch: bool | None = None,
 ) -> StrategyRunResult:
     """ARCS-Offline: exhaustive tuning run(s) produce a history file;
     the measured runs replay it.
@@ -565,6 +568,7 @@ def run_arcs_offline(
             history=history,
             history_key=key,
             seed=derive_seed(setup.seed, "offline-tuning"),
+            batch=batch,
         )
         arcs.attach()
         while tuning_runs < MAX_TUNING_RUNS:
@@ -640,6 +644,7 @@ def run_strategy(
     checkpoint_path: str | Path | None = None,
     resume_from: str | Path | None = None,
     supervise: SuperviseConfig | None = None,
+    batch: bool | None = None,
 ) -> StrategyRunResult:
     """Dispatch by strategy name: default / arcs-online / arcs-offline."""
     key = name.lower()
@@ -650,6 +655,7 @@ def run_strategy(
             checkpoint_path=checkpoint_path,
             resume_from=resume_from,
             supervise=supervise,
+            batch=batch,
         )
     if checkpoint_path is not None or resume_from is not None:
         raise ValueError(
@@ -659,7 +665,7 @@ def run_strategy(
     if key == "default":
         return run_default(app, setup)
     if key in ("arcs-offline", "offline"):
-        return run_arcs_offline(app, setup, history=history)
+        return run_arcs_offline(app, setup, history=history, batch=batch)
     raise ValueError(
         f"unknown strategy {name!r}; known: default, arcs-online, "
         "arcs-offline"

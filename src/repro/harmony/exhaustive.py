@@ -16,17 +16,20 @@ class ExhaustiveSearch(SearchStrategy):
 
     def __init__(self, space: SearchSpace) -> None:
         super().__init__(space)
-        self._iter = space.iter_indices()
+        # materialized (rather than a lazy generator) so the whole
+        # remaining walk can be previewed for batched prefetching.
+        self._order = list(space.iter_indices())
+        self._pos = 0
         self._pending: tuple[int, ...] | None = None
-        self._remaining = space.size
         self._best: tuple[tuple[int, ...], float] | None = None
 
     def ask(self) -> tuple[int, ...] | None:
         if self._pending is not None:
             return self._pending
-        if self._remaining == 0:
+        if self._pos >= len(self._order):
             return None
-        self._pending = next(self._iter)
+        self._pending = self._order[self._pos]
+        self._pos += 1
         return self._pending
 
     def tell(self, indices: tuple[int, ...], value: float) -> None:
@@ -38,11 +41,14 @@ class ExhaustiveSearch(SearchStrategy):
         if self._best is None or value < self._best[1]:
             self._best = (indices, value)
         self._pending = None
-        self._remaining -= 1
+
+    def probe_preview(self) -> tuple[tuple[int, ...], ...]:
+        pending = () if self._pending is None else (self._pending,)
+        return pending + tuple(self._order[self._pos:])
 
     @property
     def converged(self) -> bool:
-        return self._remaining == 0 and self._pending is None
+        return self._pos >= len(self._order) and self._pending is None
 
     @property
     def best(self) -> tuple[tuple[int, ...], float] | None:

@@ -32,8 +32,7 @@ class NelderMeadSearch(SimplexSearchBase):
     """Discrete-lattice Nelder-Mead."""
 
     def _algorithm(self) -> Generator[tuple[int, ...], float, None]:
-        d = self.space.dimensions
-        vertices = self._initial_simplex(d + 1)
+        vertices = self._initial_simplex(self._initial_vertex_count())
         values = []
         for v in vertices:
             values.append((yield from self._evaluate(v)))

@@ -32,10 +32,12 @@ _DIAMETER_TOL = 0.75
 class ParallelRankOrderSearch(SimplexSearchBase):
     """Rank-order simplex search with reflect-all rounds."""
 
-    def _algorithm(self) -> Generator[tuple[int, ...], float, None]:
+    def _initial_vertex_count(self) -> int:
         d = self.space.dimensions
-        n_vertices = max(d + 1, _VERTICES_PER_DIM * d)
-        vertices = self._initial_simplex(n_vertices)
+        return max(d + 1, _VERTICES_PER_DIM * d)
+
+    def _algorithm(self) -> Generator[tuple[int, ...], float, None]:
+        vertices = self._initial_simplex(self._initial_vertex_count())
         values = []
         for v in vertices:
             values.append((yield from self._evaluate(v)))

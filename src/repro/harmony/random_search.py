@@ -50,6 +50,10 @@ class RandomSearch(SearchStrategy):
             self._best = (indices, value)
         self._pending = None
 
+    def probe_preview(self) -> tuple[tuple[int, ...], ...]:
+        pending = () if self._pending is None else (self._pending,)
+        return pending + tuple(self._plan[self._next:])
+
     @property
     def converged(self) -> bool:
         return self._pending is None and self._next >= len(self._plan)

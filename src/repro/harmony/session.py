@@ -115,6 +115,17 @@ class SearchStrategy(ABC):
     def tell(self, indices: tuple[int, ...], value: float) -> None:
         """Report the objective for a previously asked vector."""
 
+    def probe_preview(self) -> tuple[tuple[int, ...], ...]:
+        """Index vectors the strategy expects to ask for soon.
+
+        A *hint* for batched prefetching (see ``repro.openmp.batch``),
+        never a promise: the strategy may ask for other points, fewer
+        points, or the same points in a different order, and callers
+        must not change behaviour based on the preview.  The base
+        implementation previews nothing.
+        """
+        return ()
+
     @property
     @abstractmethod
     def converged(self) -> bool: ...
@@ -212,6 +223,16 @@ class TuningSession:
     def best_value(self) -> float | None:
         best = self._session_best()
         return None if best is None else best[1]
+
+    def probe_preview(self) -> tuple[tuple[int, ...], ...]:
+        """Clamped index vectors the session is likely to suggest soon
+        (the strategy's preview) - the batched evaluator's prefetch
+        hint.  Empty once converged or failed."""
+        if self.failed or self.strategy.converged:
+            return ()
+        return tuple(
+            self.space.clamp(p) for p in self.strategy.probe_preview()
+        )
 
     # ------------------------------------------------------------------
     def suggest(self) -> dict[str, object]:

@@ -104,6 +104,28 @@ class SimplexSearchBase(SearchStrategy):
         """Real (uncached) measurements consumed so far."""
         return self._evals
 
+    def probe_preview(self) -> tuple[tuple[int, ...], ...]:
+        """Before the first ask: the whole initial simplex (its vertex
+        evaluation order is fixed), deduplicated after lattice
+        rounding.  Mid-search the next move depends on unreported
+        measurements, so only the outstanding point is previewed."""
+        if self._done:
+            return ()
+        if self._started:
+            return () if self._pending is None else (self._pending,)
+        preview: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        for v in self._initial_simplex(self._initial_vertex_count()):
+            key = self._round(v)
+            if key not in seen:
+                seen.add(key)
+                preview.append(key)
+        return tuple(preview)
+
+    def _initial_vertex_count(self) -> int:
+        """Vertices in the initial simplex; subclasses override."""
+        return self.space.dimensions + 1
+
     # ------------------------------------------------------------------
     # helpers for subclasses
     # ------------------------------------------------------------------

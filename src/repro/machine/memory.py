@@ -17,6 +17,8 @@ The sustainable bandwidth also droops mildly under deep frequency caps
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.machine.spec import MachineSpec
 from repro.util.validation import require_nonnegative
 
@@ -51,4 +53,14 @@ class MemoryModel:
         require_nonnegative("dram_bytes_per_s", dram_bytes_per_s)
         capacity = self.effective_bandwidth(streams, freq_ghz)
         rho = min(_RHO_MAX, dram_bytes_per_s / capacity)
+        return 1.0 / (1.0 - rho)
+
+    def contention_multiplier_batch(
+        self, dram_bytes_per_s: np.ndarray, capacity: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`contention_multiplier` over an array of
+        traffic rates against precomputed per-socket capacities (from
+        :meth:`effective_bandwidth`) - elementwise IEEE-identical to
+        the scalar form."""
+        rho = np.minimum(_RHO_MAX, dram_bytes_per_s / capacity)
         return 1.0 / (1.0 - rho)

@@ -29,11 +29,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.machine.node import SimulatedNode
+from repro.openmp import batch as _batch
 from repro.openmp.barrier import TeamCosts
 from repro.openmp.records import RegionExecutionRecord
 from repro.openmp.region import RegionProfile
 from repro.openmp.schedule import average_chunk_iters, chunks_for
 from repro.openmp.types import OMPConfig, ScheduleKind
+from repro.telemetry.bus import bus
 from repro.util.rng import rng_for
 
 #: above this many chunks, dynamic dispatch uses the balanced-flow
@@ -55,6 +57,10 @@ class _WeightCacheEntry:
 class ExecutionEngine:
     """Simulates parallel-region executions on a :class:`SimulatedNode`."""
 
+    #: bandwidth fixed-point iteration count, exposed for the batched
+    #: evaluator (which must run the exact same number of rounds).
+    BW_FIXED_POINT_ITERS = _BW_FIXED_POINT_ITERS
+
     def __init__(
         self, node: SimulatedNode, costs: TeamCosts | None = None
     ) -> None:
@@ -64,6 +70,12 @@ class ExecutionEngine:
         self._record_cache: dict[tuple, RegionExecutionRecord] = {}
 
     # ------------------------------------------------------------------
+    def _caps(self) -> tuple[float | None, ...]:
+        return tuple(
+            self.node.rapl.effective_cap_w(s, self.node.now_s)
+            for s in range(self.node.spec.sockets)
+        )
+
     def execute(
         self, region: RegionProfile, config: OMPConfig
     ) -> RegionExecutionRecord:
@@ -75,10 +87,7 @@ class ExecutionEngine:
                 f"config requests {config.n_threads} threads but "
                 f"{spec.name} has {spec.total_hw_threads} hardware threads"
             )
-        caps = tuple(
-            self.node.rapl.effective_cap_w(s, self.node.now_s)
-            for s in range(spec.sockets)
-        )
+        caps = self._caps()
         key = (
             region.name,
             region.iterations,
@@ -87,9 +96,22 @@ class ExecutionEngine:
             self.node.frequency_limit_ghz,
         )
         record = self._record_cache.get(key)
+        if record is None and _batch.batching_enabled():
+            # process-wide content-keyed memo: another engine (a fresh
+            # runtime, an earlier sweep cell) may have computed this
+            # exact evaluation already.
+            record = _batch.memo_get(
+                _batch.memo_key(self, region, config, caps)
+            )
+            if record is not None:
+                self._record_cache[key] = record
         if record is None:
             record = self._simulate(region, config)
             self._record_cache[key] = record
+            if _batch.batching_enabled():
+                _batch.memo_put(
+                    _batch.memo_key(self, region, config, caps), record
+                )
         # side effects: clock + energy counters
         per_socket = record.energy_j / spec.sockets
         dram_per_socket = record.dram_energy_j / spec.sockets
@@ -98,6 +120,66 @@ class ExecutionEngine:
             self.node.deposit_energy(socket, per_socket)
             self.node.deposit_dram_energy(socket, dram_per_socket)
         return record
+
+    # ------------------------------------------------------------------
+    def prefetch(
+        self, region: RegionProfile, configs: tuple[OMPConfig, ...]
+    ) -> int:
+        """Warm the record caches for candidate ``configs`` under the
+        current power caps in one vectorized pass.
+
+        Pure pre-computation: no clock advance, no energy deposits, no
+        OMPT events - subsequent :meth:`execute` calls hit the cache
+        and behave byte-identically to the scalar path.  Returns the
+        number of freshly computed records (cached/memoized candidates
+        and configs the machine cannot run cost nothing).
+        """
+        if not _batch.batching_enabled() or not configs:
+            return 0
+        spec = self.node.spec
+        caps = self._caps()
+        todo: list[tuple[OMPConfig, tuple, tuple]] = []
+        seen: set[OMPConfig] = set()
+        for config in configs:
+            if config.n_threads > spec.total_hw_threads:
+                continue
+            if config in seen:
+                continue
+            seen.add(config)
+            key = (
+                region.name,
+                region.iterations,
+                config,
+                caps,
+                self.node.frequency_limit_ghz,
+            )
+            if key in self._record_cache:
+                continue
+            mkey = _batch.memo_key(self, region, config, caps)
+            record = _batch.memo_get(mkey)
+            if record is not None:
+                self._record_cache[key] = record
+                continue
+            todo.append((config, key, mkey))
+        if not todo:
+            return 0
+        records = _batch.BatchEvaluator(self).evaluate(
+            region, [config for config, _, _ in todo]
+        )
+        for (config, key, mkey), record in zip(todo, records):
+            self._record_cache[key] = record
+            _batch.memo_put(mkey, record)
+        tb = bus()
+        if tb.enabled:
+            tb.count("batch.prefetches")
+            tb.count("batch.prefetched_configs", len(todo))
+            tb.emit(
+                "batch.prefetch",
+                region=region.name,
+                configs=len(configs),
+                computed=len(todo),
+            )
+        return len(todo)
 
     # ------------------------------------------------------------------
     def _weights(self, region: RegionProfile) -> _WeightCacheEntry:
@@ -208,9 +290,38 @@ class ExecutionEngine:
             entry.prefix[[c.stop for c in chunks]]
             - entry.prefix[[c.start for c in chunks]]
         )
+        return self._complete(
+            region,
+            config,
+            placement,
+            freqs,
+            threads_per_socket,
+            traffic,
+            len(chunks),
+            chunk_weights,
+            per_weight_s,
+        )
+
+    def _complete(
+        self,
+        region: RegionProfile,
+        config: OMPConfig,
+        placement,
+        freqs: tuple[float, ...],
+        threads_per_socket,
+        traffic,
+        n_chunks: int,
+        chunk_weights: np.ndarray,
+        per_weight_s: np.ndarray,
+    ) -> RegionExecutionRecord:
+        """Schedule the chunks and assemble the record - the back half
+        of :meth:`_simulate`, shared with the batched evaluator so both
+        paths run the exact same arithmetic."""
+        spec = self.node.spec
+        n_threads = config.n_threads
         if config.schedule is ScheduleKind.STATIC:
             finish, dispatch_max = self._run_static(
-                config, len(chunks), chunk_weights, per_weight_s
+                config, n_chunks, chunk_weights, per_weight_s
             )
         else:
             finish, dispatch_max = self._run_dynamic(

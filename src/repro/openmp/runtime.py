@@ -69,6 +69,11 @@ class OpenMPRuntime:
         #: intended measurement path (e.g. a power cap that could not be
         #: applied); surfaced in the run result's degradations.
         self.degradations: list[str] = []
+        #: per-region batched-prefetch hints (candidate configs a tuner
+        #: expects to try soon); consumed by the next ``parallel_for``
+        #: on that region.  Pure performance state - deliberately not
+        #: checkpointed; tuners re-hint after a resume.
+        self._probe_hints: dict[str, tuple[OMPConfig, ...]] = {}
 
     # ------------------------------------------------------------------
     # the omp_* runtime-library surface
@@ -139,6 +144,17 @@ class OpenMPRuntime:
             n_threads=self._num_threads, schedule=kind, chunk=chunk
         )
 
+    def hint_probes(
+        self, region_name: str, configs: tuple[OMPConfig, ...]
+    ) -> None:
+        """Hint configurations a tuner expects to measure on
+        ``region_name`` soon, so the next execution of that region can
+        batch-evaluate them in one vectorized pass (see
+        ``repro.openmp.batch``).  Purely an optimization: results are
+        byte-identical with or without hints."""
+        if configs:
+            self._probe_hints[region_name] = tuple(configs)
+
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
@@ -195,6 +211,12 @@ class OpenMPRuntime:
                     timestamp_s=self.node.now_s,
                 ),
             )
+        hints = self._probe_hints.pop(region.name, None)
+        if hints is not None:
+            # warm the engine's record caches for the hinted candidates
+            # in one vectorized pass; execute() below then sequences
+            # side effects exactly as the scalar path would.
+            self.engine.prefetch(region, hints)
         tb = bus()
         if tb.enabled:
             begin, seq = tb.span_begin()

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.openmp.types import OMPConfig, ScheduleKind
 
 
@@ -123,6 +125,54 @@ def static_assignment(
         # default static: chunk i belongs to thread i (block partition)
         return list(range(len(chunks)))
     return [i % config.n_threads for i in range(len(chunks))]
+
+
+def chunk_bounds(
+    config: OMPConfig, n_iterations: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chunk boundaries as ``(starts, stops)`` index arrays - the same
+    partition :func:`chunks_for` produces, without materializing one
+    :class:`Chunk` object per chunk (the batched evaluator's form).
+
+    Invariant (guarded by the property suite): for every config,
+    ``starts[i] == chunks_for(...)[i].start`` and
+    ``stops[i] == chunks_for(...)[i].stop``.
+    """
+    if config.schedule is ScheduleKind.STATIC and config.chunk is None:
+        _check(n_iterations, config.n_threads)
+        base, extra = divmod(n_iterations, config.n_threads)
+        sizes = base + (np.arange(config.n_threads) < extra)
+        sizes = sizes[sizes > 0]
+        stops = np.cumsum(sizes)
+        return stops - sizes, stops
+    if config.schedule is ScheduleKind.GUIDED:
+        _check(n_iterations, config.n_threads)
+        min_chunk = config.chunk or 1
+        if min_chunk < 1:
+            raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
+        sizes_list: list[int] = []
+        remaining = n_iterations
+        while remaining > 0:
+            size = max(min_chunk, -(-remaining // config.n_threads))
+            size = min(size, remaining)
+            sizes_list.append(size)
+            remaining -= size
+        sizes = np.asarray(sizes_list)
+        stops = np.cumsum(sizes)
+        return stops - sizes, stops
+    if config.schedule not in (ScheduleKind.STATIC, ScheduleKind.DYNAMIC):
+        raise ValueError(f"unknown schedule {config.schedule!r}")
+    # static with a chunk argument, and dynamic: fixed-size chunks
+    _check(n_iterations, 1)
+    chunk = (
+        config.chunk
+        if config.schedule is ScheduleKind.STATIC
+        else (config.chunk or 1)
+    )
+    if chunk is None or chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    starts = np.arange(0, n_iterations, chunk)
+    return starts, np.minimum(starts + chunk, n_iterations)
 
 
 def average_chunk_iters(config: OMPConfig, n_iterations: int) -> float:

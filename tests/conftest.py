@@ -2,11 +2,64 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.machine.node import SimulatedNode
 from repro.machine.spec import crill, minotaur
 from repro.openmp.runtime import OpenMPRuntime
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-master files under tests/goldens/ "
+        "from the current outputs instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
+@pytest.fixture
+def goldens_dir() -> Path:
+    return GOLDENS_DIR
+
+
+def _results_files() -> set[Path]:
+    results = REPO_ROOT / "results"
+    if not results.is_dir():
+        return set()
+    return {p for p in results.rglob("*") if p.is_file()}
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _guard_repo_results():
+    """Fail the session if a test dirties the repo's ``results/`` tree.
+
+    Tests must write through ``tmp_path``; ``results/`` belongs to the
+    benchmark suite.  (See the testing section in README.md.)
+    """
+    before = _results_files()
+    yield
+    leaked = _results_files() - before
+    if leaked:
+        names = ", ".join(
+            str(p.relative_to(REPO_ROOT)) for p in sorted(leaked)
+        )
+        pytest.fail(
+            f"test run created files under results/: {names}; "
+            "use tmp_path fixtures instead",
+            pytrace=False,
+        )
 
 
 @pytest.fixture

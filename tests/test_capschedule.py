@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -83,7 +84,12 @@ class TestCapScheduleJson:
             load_cap_schedule(path)
 
     def test_load_example_file(self):
-        schedule = load_cap_schedule("examples/capschedule.json")
+        example = (
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "capschedule.json"
+        )
+        schedule = load_cap_schedule(example)
         assert schedule.events[0].cap_w == 70.0
         assert schedule.events[-1].cap_w is None
 

@@ -36,6 +36,15 @@ class TestParser:
         assert args.no_cache is False
         assert args.cache_dir.endswith(".cache")
 
+    def test_no_batch_flag_on_run_and_sweep(self):
+        assert build_parser().parse_args(["run"]).no_batch is False
+        assert build_parser().parse_args(
+            ["run", "--no-batch"]
+        ).no_batch is True
+        assert build_parser().parse_args(
+            ["sweep", "--no-batch"]
+        ).no_batch is True
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -1,0 +1,189 @@
+"""Property-based tests for the simulator core (hypothesis).
+
+These encode the model invariants the batched evaluator and the paper
+figures both rely on:
+
+* every schedule kind partitions the iteration space exactly (no loss,
+  no overlap, dispatch order), and the vectorized ``chunk_bounds``
+  agrees with the reference ``chunks_for`` partition;
+* predicted region time is non-increasing in the package power cap;
+* package energy respects the idle-power floor;
+* per-thread busy times are finite, non-negative, and sized to the
+  team;
+* the engine is deterministic: identical inputs on identical fresh
+  nodes give bit-identical records.
+
+Example budgets are bounded so the suite stays tier-1 friendly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is an extra
+    pytest.skip(
+        "hypothesis is not installed", allow_module_level=True
+    )
+
+from repro.machine.cache import MemoryProfile
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.openmp.region import ImbalanceSpec, RegionProfile
+from repro.openmp.schedule import chunk_bounds, chunks_for
+from repro.openmp.types import OMPConfig, ScheduleKind
+
+BOUNDED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MAX_THREADS = 32  # crill has 128 hw threads; keep the sims cheap
+
+
+def _schedules() -> st.SearchStrategy[ScheduleKind]:
+    return st.sampled_from(
+        [ScheduleKind.STATIC, ScheduleKind.DYNAMIC, ScheduleKind.GUIDED]
+    )
+
+
+def _configs() -> st.SearchStrategy[OMPConfig]:
+    return st.builds(
+        OMPConfig,
+        n_threads=st.integers(min_value=1, max_value=MAX_THREADS),
+        schedule=_schedules(),
+        chunk=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=128)
+        ),
+    )
+
+
+def _regions() -> st.SearchStrategy[RegionProfile]:
+    return st.builds(
+        RegionProfile,
+        name=st.just("prop_region"),
+        iterations=st.integers(min_value=1, max_value=512),
+        cpu_ns_per_iter=st.floats(
+            min_value=100.0, max_value=1e6, allow_nan=False
+        ),
+        memory=st.builds(
+            MemoryProfile,
+            bytes_per_iter=st.floats(min_value=1.0, max_value=1e6),
+            stride_bytes=st.sampled_from([8.0, 64.0, 4096.0]),
+            footprint_bytes=st.floats(min_value=0.0, max_value=1e9),
+            reuse_fraction=st.floats(min_value=0.0, max_value=0.95),
+        ),
+        imbalance=st.builds(
+            ImbalanceSpec,
+            kind=st.sampled_from(
+                ["none", "linear", "sawtooth", "step", "random"]
+            ),
+            amplitude=st.floats(min_value=0.0, max_value=0.8),
+            period=st.integers(min_value=1, max_value=64),
+            heavy_fraction=st.floats(min_value=0.05, max_value=0.95),
+        ),
+        serial_ns=st.floats(min_value=0.0, max_value=1e6),
+    )
+
+
+class TestChunking:
+    @BOUNDED
+    @given(
+        config=_configs(),
+        n_iterations=st.integers(min_value=1, max_value=2048),
+    )
+    def test_partition_is_exact(self, config, n_iterations):
+        """Chunks cover [0, n) contiguously, in order, exactly once -
+        for every schedule kind and chunk argument."""
+        chunks = chunks_for(config, n_iterations)
+        assert sum(c.size for c in chunks) == n_iterations
+        cursor = 0
+        for chunk in chunks:
+            assert chunk.start == cursor
+            assert chunk.size >= 1
+            cursor = chunk.stop
+        assert cursor == n_iterations
+
+    @BOUNDED
+    @given(
+        config=_configs(),
+        n_iterations=st.integers(min_value=1, max_value=2048),
+    )
+    def test_chunk_bounds_matches_chunks_for(self, config, n_iterations):
+        """The batched evaluator's vectorized partition is the same
+        partition as the scalar reference, chunk for chunk."""
+        chunks = chunks_for(config, n_iterations)
+        starts, stops = chunk_bounds(config, n_iterations)
+        assert list(starts) == [c.start for c in chunks]
+        assert list(stops) == [c.stop for c in chunks]
+
+
+def _engine(cap_w: float | None = None) -> ExecutionEngine:
+    node = SimulatedNode(crill())
+    if cap_w is not None:
+        node.rapl.set_package_cap(cap_w, node.now_s)
+    return ExecutionEngine(node)
+
+
+class TestEngineInvariants:
+    @BOUNDED
+    @given(
+        region=_regions(),
+        config=_configs(),
+        cap_pair=st.tuples(
+            st.floats(min_value=45.0, max_value=125.0),
+            st.floats(min_value=45.0, max_value=125.0),
+        ),
+    )
+    def test_time_non_increasing_in_cap(self, region, config, cap_pair):
+        """Raising the package power cap never slows a region down."""
+        lo, hi = sorted(cap_pair)
+        t_lo = _engine(lo)._simulate(region, config).time_s
+        t_hi = _engine(hi)._simulate(region, config).time_s
+        assert t_hi <= t_lo * (1.0 + 1e-9)
+
+    @BOUNDED
+    @given(
+        region=_regions(),
+        config=_configs(),
+        cap_w=st.one_of(
+            st.none(), st.floats(min_value=45.0, max_value=125.0)
+        ),
+    )
+    def test_energy_respects_idle_floor(self, region, config, cap_w):
+        """Even a fully capped region cannot dip below the deep-sleep
+        power of the whole chip: energy >= idle_power * wall_time."""
+        spec = crill()
+        record = _engine(cap_w)._simulate(region, config)
+        idle_w = spec.idle_core_sleep_w * spec.total_cores
+        assert record.energy_j >= idle_w * record.time_s * (1.0 - 1e-9)
+        assert record.avg_power_w >= 0.0
+
+    @BOUNDED
+    @given(region=_regions(), config=_configs())
+    def test_thread_times_finite_and_sized(self, region, config):
+        record = _engine()._simulate(region, config)
+        assert len(record.thread_busy_s) == config.n_threads
+        for freq in record.frequencies_ghz:  # one per active socket
+            assert 0.0 < freq < 10.0
+        for busy in record.thread_busy_s:
+            assert busy >= 0.0
+            assert busy == busy  # not NaN
+            assert busy != float("inf")
+        assert record.time_s >= record.serial_time_s
+        assert record.barrier_wait_max_s <= (
+            record.barrier_wait_total_s + 1e-15
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(region=_regions(), config=_configs())
+    def test_same_inputs_same_record(self, region, config):
+        """Two engines built from identical fresh nodes produce
+        bit-identical records: the model has no hidden global state."""
+        assert _engine(85.0)._simulate(region, config) == _engine(
+            85.0
+        )._simulate(region, config)
