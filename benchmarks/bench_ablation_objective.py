@@ -63,6 +63,14 @@ def test_objective_ablation(benchmark, save_result):
             (name, f"{time_s * 1e3:.2f}", f"{energy_j:.3f}",
              f"{capped}/{len(chosen_freqs[name])}")
         )
+    metrics = {}
+    for name, (time_s, energy_j) in totals.items():
+        metrics[f"step_time_s[{name}]"] = {
+            "value": time_s, "direction": "lower", "unit": "s",
+        }
+        metrics[f"step_energy_j[{name}]"] = {
+            "value": energy_j, "direction": "lower", "unit": "J",
+        }
     save_result(
         "ablation_objective_dvfs",
         format_table(
@@ -72,6 +80,21 @@ def test_objective_ablation(benchmark, save_result):
             title="Ablation: tuning objective with the DVFS dimension "
             "(SP-B, Crill, 85 W)",
         ),
+        metrics=metrics,
+        records=[
+            {
+                "objective": name,
+                "step_time_s": time_s,
+                "step_energy_j": energy_j,
+                "dvfs_regions": sum(
+                    1 for f in chosen_freqs[name] if f is not None
+                ),
+                "regions": len(chosen_freqs[name]),
+            }
+            for name, (time_s, energy_j) in totals.items()
+        ],
+        machine="crill",
+        config={"cap_w": 85.0},
     )
     # time-argmin is fastest; energy-argmin uses least energy
     assert totals["time"][0] <= totals["energy"][0] + 1e-12

@@ -82,6 +82,29 @@ def test_per_region_beats_global(benchmark, save_result):
             title="Ablation: per-region tuning vs one global config "
             "(SP-B, Crill, TDP)",
         ),
+        metrics={
+            "default_step_s": {
+                "value": default_step, "direction": "lower",
+                "unit": "s",
+            },
+            "global_step_s": {
+                "value": global_step, "direction": "lower",
+                "unit": "s",
+            },
+            "per_region_step_s": {
+                "value": per_region_step, "direction": "lower",
+                "unit": "s",
+            },
+        },
+        records=[
+            {"policy": "default", "step_s": default_step,
+             "config": None},
+            {"policy": "best-global", "step_s": global_step,
+             "config": global_cfg.label()},
+            {"policy": "per-region", "step_s": per_region_step,
+             "config": None},
+        ],
+        machine="crill",
     )
     assert global_step < default_step          # tuning helps at all
     assert per_region_step < global_step        # per-region helps more

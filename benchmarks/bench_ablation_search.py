@@ -66,6 +66,18 @@ def test_search_strategy_ablation(benchmark, save_result):
             rows,
             title="Ablation: search strategies on SP y_solve (Crill, TDP)",
         ),
+        metrics={
+            f"best_time_s[{name}]": {
+                "value": value, "direction": "lower", "unit": "s",
+            }
+            for name, (value, _evals) in results.items()
+        },
+        records=[
+            {"strategy": name, "evals": evals, "best_time_s": value}
+            for name, (value, evals) in results.items()
+        ],
+        machine="crill",
+        seed=3,
     )
     nm_value, nm_evals = results["nelder-mead"]
     # Nelder-Mead gets within ~15% of the optimum at a fraction of the

@@ -48,6 +48,26 @@ def test_selective_tuning(benchmark, save_result):
             rows,
             title="Ablation: selective tuning on LULESH-45 (Crill, TDP)",
         ),
+        metrics={
+            "default_time_s": {
+                "value": base.time_s, "direction": "lower", "unit": "s",
+            },
+            "online_time_s": {
+                "value": online.time_s, "direction": "lower",
+                "unit": "s",
+            },
+            "selective_time_s": {
+                "value": selective.time_s, "direction": "lower",
+                "unit": "s",
+            },
+        },
+        records=[
+            {"strategy": r.strategy, "time_s": r.time_s,
+             "time_norm": r.time_s / base.time_s}
+            for r in (base, online, selective)
+        ],
+        machine="crill",
+        seed=0,
     )
     # plain online loses on LULESH (paper); selective recovers
     assert online.time_s > base.time_s * 0.995

@@ -71,6 +71,28 @@ def test_dynamic_power_adaptation(benchmark, save_result):
             rows,
             title="SP-B with a mid-run TDP -> 55 W cap change (Crill)",
         ),
+        metrics={
+            "default_time_s": {"value": d_t, "direction": "lower",
+                               "unit": "s"},
+            "cap_blind_time_s": {"value": p_t, "direction": "lower",
+                                 "unit": "s"},
+            "cap_aware_time_s": {"value": a_t, "direction": "lower",
+                                 "unit": "s"},
+            "cap_blind_time_norm": {"value": p_t / d_t,
+                                    "direction": "lower"},
+            "cap_aware_time_norm": {"value": a_t / d_t,
+                                    "direction": "lower"},
+        },
+        records=[
+            {"strategy": "default", "time_s": d_t,
+             "time_norm": 1.0, "energy_j": d_e},
+            {"strategy": "arcs-online (cap-blind)", "time_s": p_t,
+             "time_norm": p_t / d_t, "energy_j": p_e},
+            {"strategy": "arcs-online (cap-aware)", "time_s": a_t,
+             "time_norm": a_t / d_t, "energy_j": a_e},
+        ],
+        machine="crill",
+        config={"cap_schedule": "TDP->55W at t/4"},
     )
     # both ARCS modes beat the default through the cap change
     assert p_t < d_t

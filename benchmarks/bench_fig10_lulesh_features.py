@@ -1,5 +1,7 @@
 """Figure 10: LULESH CalcFBHourglassForceForElems features."""
 
+from repro.analysis.bench import feature_metrics
+from repro.analysis.records import feature_records
 from repro.experiments.figures import fig10_lulesh_features
 from repro.experiments.reporting import render_features
 
@@ -15,6 +17,10 @@ def test_fig10(benchmark, save_result):
             "Fig. 10: LULESH CalcFBHourglassForceForElems, default vs "
             "ARCS-Offline",
         ),
+        metrics=feature_metrics(comparison),
+        records=feature_records(comparison),
+        machine="crill",
+        seed=0,
     )
     feats = comparison.offline_normalized[
         "CalcFBHourglassForceForElems_"

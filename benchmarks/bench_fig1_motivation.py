@@ -1,13 +1,27 @@
 """Figure 1: execution time of the BT x_solve motivation kernel with
 best vs default configurations across power levels."""
 
+from repro.analysis.records import fig1_records
 from repro.experiments.figures import fig1_motivation
 from repro.experiments.reporting import render_fig1
 
 
 def test_fig1(benchmark, save_result):
     rows = benchmark.pedantic(fig1_motivation, rounds=1, iterations=1)
-    save_result("fig1_motivation", render_fig1(rows))
+    save_result(
+        "fig1_motivation",
+        render_fig1(rows),
+        metrics={
+            f"improvement_pct[{r.label}]": {
+                "value": r.improvement_pct, "direction": "higher",
+            }
+            for r in rows
+            if r.improvement_pct is not None
+        },
+        records=fig1_records(rows),
+        machine="crill",
+        seed=0,
+    )
 
     capped = [r for r in rows if r.default_time_s is not None]
     # the optimal configuration beats the default at every power level

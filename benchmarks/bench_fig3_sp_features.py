@@ -1,5 +1,7 @@
 """Figure 3: SP per-region cache/barrier features, default vs Offline."""
 
+from repro.analysis.bench import feature_metrics
+from repro.analysis.records import feature_records
 from repro.experiments.figures import SP_MAJOR_REGIONS, fig3_sp_features
 from repro.experiments.reporting import render_features
 
@@ -14,6 +16,10 @@ def test_fig3(benchmark, save_result):
             comparison,
             "Fig. 3: SP major regions, default vs ARCS-Offline (TDP)",
         ),
+        metrics=feature_metrics(comparison),
+        records=feature_records(comparison),
+        machine="crill",
+        seed=0,
     )
     for region in SP_MAJOR_REGIONS:
         feats = comparison.offline_normalized[region]

@@ -1,5 +1,7 @@
 """Figure 5: SP data set C at TDP - ARCS generalizes across workloads."""
 
+from repro.analysis.bench import sweep_metrics
+from repro.analysis.records import sweep_records
 from repro.experiments.figures import fig5_sp_class_c
 from repro.experiments.reporting import render_sweep
 
@@ -18,6 +20,12 @@ def test_fig5(benchmark, save_result, sweep_workers, sweep_cache):
     save_result(
         "fig5_sp_classC",
         render_sweep(sweep, "Fig. 5: SP-C on Crill (TDP)"),
+        metrics=sweep_metrics(sweep),
+        records=sweep_records(sweep),
+        machine=sweep.machine,
+        seed=0,
+        config={"repeats": 3, "workers": sweep_workers,
+                "cached": sweep_cache is not None},
     )
     offline = sweep.cells[("TDP", "arcs-offline")]
     # paper: up to 40% time / 42% energy improvement on the larger set

@@ -1,5 +1,7 @@
 """Figure 6: BT compute_rhs features, default vs ARCS-Offline."""
 
+from repro.analysis.bench import feature_metrics
+from repro.analysis.records import feature_records
 from repro.experiments.figures import fig6_bt_features
 from repro.experiments.reporting import render_features
 
@@ -14,6 +16,10 @@ def test_fig6(benchmark, save_result):
             comparison,
             "Fig. 6: BT compute_rhs, default vs ARCS-Offline (TDP)",
         ),
+        metrics=feature_metrics(comparison),
+        records=feature_records(comparison),
+        machine="crill",
+        seed=0,
     )
     feats = comparison.offline_normalized["compute_rhs"]
     # paper: significant OMP_BARRIER improvement (~80%) for compute_rhs

@@ -1,6 +1,8 @@
 """Figure 7: BT-B application-level time & energy across power levels -
 the little-headroom case."""
 
+from repro.analysis.bench import sweep_metrics
+from repro.analysis.records import sweep_records
 from repro.experiments.figures import fig7_bt_power_sweep
 from repro.experiments.reporting import render_sweep
 
@@ -19,6 +21,12 @@ def test_fig7(benchmark, save_result, sweep_workers, sweep_cache):
     save_result(
         "fig7_bt_power_sweep",
         render_sweep(sweep, "Fig. 7: BT-B on Crill"),
+        metrics=sweep_metrics(sweep),
+        records=sweep_records(sweep),
+        machine=sweep.machine,
+        seed=0,
+        config={"repeats": 3, "workers": sweep_workers,
+                "cached": sweep_cache is not None},
     )
     for cap in sweep.caps:
         label = sweep.cap_label(cap)

@@ -1,6 +1,8 @@
 """Figure 8: LULESH mesh 45 - time & energy on Crill across power
 levels, and time on Minotaur (TDP)."""
 
+from repro.analysis.bench import sweep_metrics
+from repro.analysis.records import sweep_records
 from repro.experiments.figures import fig8_lulesh
 from repro.experiments.reporting import render_sweep
 
@@ -16,15 +18,27 @@ def test_fig8(benchmark, save_result, sweep_workers, sweep_cache):
         rounds=1,
         iterations=1,
     )
+    config = {"repeats": 3, "workers": sweep_workers,
+              "cached": sweep_cache is not None}
     save_result(
         "fig8_lulesh_crill",
         render_sweep(crill_sweep, "Fig. 8a/8b: LULESH-45 on Crill"),
+        metrics=sweep_metrics(crill_sweep),
+        records=sweep_records(crill_sweep),
+        machine=crill_sweep.machine,
+        seed=0,
+        config=config,
     )
     save_result(
         "fig8_lulesh_minotaur",
         render_sweep(
             minotaur_sweep, "Fig. 8c: LULESH-45 on Minotaur (time only)"
         ),
+        metrics=sweep_metrics(minotaur_sweep),
+        records=sweep_records(minotaur_sweep),
+        machine=minotaur_sweep.machine,
+        seed=0,
+        config=config,
     )
     for cap in crill_sweep.caps:
         label = crill_sweep.cap_label(cap)

@@ -1,12 +1,27 @@
 """Figure 9: OMPT event breakdown for the top-5 LULESH regions."""
 
+from repro.analysis.records import fig9_records
 from repro.experiments.figures import fig9_lulesh_regions
 from repro.experiments.reporting import render_fig9
 
 
 def test_fig9(benchmark, save_result):
     rows = benchmark.pedantic(fig9_lulesh_regions, rounds=1, iterations=1)
-    save_result("fig9_lulesh_regions", render_fig9(rows))
+    save_result(
+        "fig9_lulesh_regions",
+        render_fig9(rows),
+        # descriptive OMPT statistics, not a perf gate: recorded for
+        # trend plots but never diffed against a tolerance
+        metrics={
+            f"barrier_fraction[{r.region}]": {
+                "value": r.barrier_fraction, "direction": "info",
+            }
+            for r in rows
+        },
+        records=fig9_records(rows),
+        machine="crill",
+        seed=0,
+    )
 
     names = [r.region for r in rows]
     # the most time-consuming region is EvalEOSForElems_ (paper)

@@ -29,12 +29,24 @@ def minotaur_runs():
 def test_minotaur_claims(benchmark, save_result):
     runs = benchmark.pedantic(minotaur_runs, rounds=1, iterations=1)
     rows = []
+    metrics = {}
+    records = []
     for label, (base, online, offline) in runs.items():
         for res in (base, online, offline):
             imp = 100 * (1 - res.time_s / base.time_s)
             rows.append(
                 (label, res.strategy, f"{res.time_s:.3f}",
                  f"{imp:+.1f}%")
+            )
+            metrics[f"time_s[{label}/{res.strategy}]"] = {
+                "value": res.time_s, "direction": "lower", "unit": "s",
+            }
+            metrics[f"improvement_pct[{label}/{res.strategy}]"] = {
+                "value": imp, "direction": "higher", "unit": "%",
+            }
+            records.append(
+                {"app": label, "strategy": res.strategy,
+                 "time_s": res.time_s, "improvement_pct": imp}
             )
     save_result(
         "minotaur_claims",
@@ -43,6 +55,10 @@ def test_minotaur_claims(benchmark, save_result):
             rows,
             title="Minotaur (POWER8, TDP, min-of-3): Section V claims",
         ),
+        metrics=metrics,
+        records=records,
+        machine="minotaur",
+        config={"repeats": 3},
     )
     sp_base, _sp_online, sp_offline = runs["sp.B"]
     bt_base, bt_online, bt_offline = runs["bt.B"]

@@ -32,6 +32,13 @@ def test_config_change_overhead(benchmark, save_result):
         "overhead_config_change",
         f"Configuration-changing overhead per region call: "
         f"{overhead * 1e3:.3f} ms (paper, Crill: ~0.8 ms)",
+        metrics={
+            "config_change_overhead_s": {
+                "value": overhead, "direction": "lower", "unit": "s",
+            }
+        },
+        machine="crill",
+        seed=0,
     )
     assert overhead == pytest.approx(0.8e-3, rel=0.01)
 
@@ -67,6 +74,30 @@ def test_online_search_overhead(benchmark, save_result):
                 f"{100 * overhead.fraction_of(result.time_s):.1f}%)"
             ),
         ),
+        metrics={
+            "config_change_s": {
+                "value": overhead.config_change_s,
+                "direction": "lower", "unit": "s",
+            },
+            "instrumentation_s": {
+                "value": overhead.instrumentation_s,
+                "direction": "lower", "unit": "s",
+            },
+            "search_s": {
+                "value": overhead.search_s,
+                "direction": "lower", "unit": "s",
+            },
+            "overhead_fraction": {
+                "value": overhead.fraction_of(result.time_s),
+                "direction": "lower",
+            },
+            "app_time_s": {
+                "value": result.time_s,
+                "direction": "lower", "unit": "s",
+            },
+        },
+        machine="crill",
+        seed=0,
     )
     # search overhead observed "as high as 10% of total execution time"
     assert overhead.search_s / result.time_s < 0.20

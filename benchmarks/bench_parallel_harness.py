@@ -106,6 +106,8 @@ def test_parallel_harness(benchmark, save_result, tmp_path):
     if cpus >= WORKERS:
         assert parallel_speedup >= min_speedup
 
+    # wall-clock timings are machine-dependent: recorded as info, gated
+    # by the asserts above
     save_result(
         "bench_parallel_harness",
         "\n".join(
@@ -123,4 +125,23 @@ def test_parallel_harness(benchmark, save_result, tmp_path):
                 f"{stats['warm_hits']}/{stats['cells']} cells cached)",
             ]
         ),
+        metrics={
+            "t_serial_s": {"value": stats["t_serial"],
+                           "direction": "info", "unit": "s"},
+            "t_parallel_s": {"value": stats["t_parallel"],
+                             "direction": "info", "unit": "s"},
+            "t_warm_s": {"value": stats["t_warm"],
+                         "direction": "info", "unit": "s"},
+            "parallel_speedup": {"value": parallel_speedup,
+                                 "direction": "info", "unit": "x"},
+            "warm_speedup": {"value": warm_speedup,
+                             "direction": "info", "unit": "x"},
+            "warm_hits": {"value": float(stats["warm_hits"]),
+                          "direction": "higher"},
+            "warm_misses": {"value": float(stats["warm_misses"]),
+                            "direction": "lower"},
+        },
+        machine="crill",
+        config={"repeats": REPEATS, "workers": WORKERS,
+                "cells": stats["cells"]},
     )

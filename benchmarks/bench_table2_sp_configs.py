@@ -1,6 +1,7 @@
 """Table II: optimal configurations chosen by ARCS-Offline for SP's
 four major regions at TDP on Crill."""
 
+from repro.analysis.records import table2_records
 from repro.experiments.reporting import render_table2
 from repro.experiments.tables import table2_sp_optimal_configs
 
@@ -9,7 +10,13 @@ def test_table2(benchmark, save_result):
     rows = benchmark.pedantic(
         table2_sp_optimal_configs, rounds=1, iterations=1
     )
-    save_result("table2_sp_optimal_configs", render_table2(rows))
+    save_result(
+        "table2_sp_optimal_configs",
+        render_table2(rows),
+        records=table2_records(rows),
+        machine="crill",
+        seed=0,
+    )
     assert [r.region for r in rows] == [
         "compute_rhs", "x_solve", "y_solve", "z_solve",
     ]

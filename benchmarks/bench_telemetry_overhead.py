@@ -94,7 +94,26 @@ def test_telemetry_overhead(save_result):
             row("enabled + JSONL sink", jsonl),
         ],
     )
-    save_result("telemetry_overhead", table)
+    # all wall-clock: machine- and load-dependent, so info-only
+    save_result(
+        "telemetry_overhead",
+        table,
+        metrics={
+            "disabled_s": {"value": baseline, "direction": "info",
+                           "unit": "s"},
+            "no_sink_s": {"value": no_sink, "direction": "info",
+                          "unit": "s"},
+            "jsonl_s": {"value": jsonl, "direction": "info",
+                        "unit": "s"},
+            "no_sink_ratio": {"value": no_sink / baseline,
+                              "direction": "info", "unit": "x"},
+            "jsonl_ratio": {"value": jsonl / baseline,
+                            "direction": "info", "unit": "x"},
+        },
+        machine="crill",
+        seed=0,
+        config={"rounds": ROUNDS},
+    )
 
     assert baseline > 0
     # enabled with only the flight recorder + metrics stays light
@@ -125,5 +144,10 @@ def test_disabled_hooks_are_noops(save_result):
         "telemetry_disabled_noop",
         f"disabled telemetry hook cost: {per_op_ns:.0f} ns/op "
         f"(ceiling 1000 ns)",
+        metrics={
+            "per_op_ns": {"value": per_op_ns, "direction": "info",
+                          "unit": "ns"},
+        },
+        config={"ops": 3 * n},
     )
     assert per_op_ns < 1000

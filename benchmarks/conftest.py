@@ -1,8 +1,18 @@
 """Benchmark-suite fixtures.
 
-Each benchmark regenerates one of the paper's tables/figures, prints it
-and writes it under ``results/`` so the whole evaluation can be
+Each benchmark regenerates one of the paper's tables/figures, prints
+it and writes it under ``results/`` so the whole evaluation can be
 reassembled from one ``pytest benchmarks/ --benchmark-only`` run.
+Every ``results/<name>.txt`` is paired with a schema-stamped
+``BENCH_<name>.json`` (:mod:`repro.analysis.bench`) carrying the same
+numbers machine-readably - metrics with compare directions, tidy
+record rows, and machine/seed/config provenance - which
+``repro analysis compare`` diffs against the committed baselines under
+``results/baselines/``.
+
+Both files are written through :mod:`repro.util.atomicio`, so a killed
+benchmark run leaves either the old artifact or the new one - never a
+truncated half.
 
 The sweep benchmarks run on the parallel cached harness
 (:mod:`repro.experiments.parallel`); two environment variables tune it:
@@ -19,7 +29,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.bench import bench_payload, write_bench_json
 from repro.experiments.cache import ExperimentCache
+from repro.util.atomicio import atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -43,9 +55,65 @@ def sweep_cache(results_dir) -> ExperimentCache | None:
 
 
 @pytest.fixture(scope="session")
-def save_result(results_dir):
-    def _save(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+def save_bench_json(results_dir):
+    """Write one schema-stamped ``BENCH_<name>.json`` under
+    ``results/``.
+
+    ``metrics`` values are numbers (lower-is-better by default) or
+    ``{"value": x, "direction": "lower"|"higher"|"info"}`` mappings;
+    mark wall-clock-derived numbers ``info`` so the CI regression gate
+    never trips on machine noise.
+    """
+
+    def _save(
+        name: str,
+        metrics=None,
+        *,
+        records=None,
+        machine=None,
+        seed=None,
+        config=None,
+    ) -> Path:
+        return write_bench_json(
+            results_dir,
+            bench_payload(
+                name,
+                metrics,
+                records=records,
+                machine=machine,
+                seed=seed,
+                config=config,
+            ),
+        )
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir, save_bench_json):
+    """Persist one benchmark artifact: ``results/<name>.txt`` (the
+    paper-style table, also printed) plus its ``BENCH_<name>.json``
+    twin built from the keyword arguments."""
+
+    def _save(
+        name: str,
+        text: str,
+        *,
+        metrics=None,
+        records=None,
+        machine=None,
+        seed=None,
+        config=None,
+    ) -> None:
+        atomic_write_text(results_dir / f"{name}.txt", text + "\n")
+        save_bench_json(
+            name,
+            metrics,
+            records=records,
+            machine=machine,
+            seed=seed,
+            config=config,
+        )
         print()
         print(text)
 

@@ -1,0 +1,198 @@
+"""Baseline comparison over two sets of ``BENCH_*.json`` results.
+
+``repro analysis compare OLD NEW --tolerance F`` diffs every gated
+metric (direction ``lower`` or ``higher``; ``info`` metrics are
+recorded provenance, never gated) of every benchmark present in the
+baseline set against its counterpart in the new set, and exits
+nonzero when any metric moved in its *worse* direction by more than
+the relative tolerance.  Benchmarks or metrics that exist in the
+baseline but vanished from the new set are regressions too - silent
+disappearance is how perf losses historically hid.  New benchmarks /
+metrics only present in NEW are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.bench import load_bench_dir
+from repro.util.tables import format_table
+
+#: default relative tolerance: 5% movement in the worse direction.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of one benchmark."""
+
+    bench: str
+    metric: str
+    direction: str          # "lower" | "higher"
+    old: float | None       # None: metric only exists in NEW
+    new: float | None       # None: metric vanished from NEW
+    rel_change: float | None  # (new - old) / |old|, None if undefined
+
+    @property
+    def status(self) -> str:
+        if self.old is None:
+            return "new"
+        if self.new is None:
+            return "missing"
+        if self.rel_change is None:
+            return "ok"
+        worse = (
+            self.rel_change if self.direction == "lower"
+            else -self.rel_change
+        )
+        if worse > 0:
+            return "worse"
+        if worse < 0:
+            return "better"
+        return "ok"
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``compare_dirs`` found, plus the gate verdict."""
+
+    tolerance: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_benches: list[str] = field(default_factory=list)
+    new_benches: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        out = []
+        for d in self.deltas:
+            if d.status == "missing":
+                out.append(d)
+            elif d.status == "worse":
+                worse = (
+                    d.rel_change if d.direction == "lower"
+                    else -d.rel_change
+                )
+                if worse > self.tolerance:
+                    out.append(d)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_benches
+
+
+def _compare_metrics(
+    bench: str, old: dict, new: dict
+) -> list[MetricDelta]:
+    deltas: list[MetricDelta] = []
+    old_metrics = old["metrics"]
+    new_metrics = new["metrics"]
+    for name in sorted(set(old_metrics) | set(new_metrics)):
+        o = old_metrics.get(name)
+        n = new_metrics.get(name)
+        direction = (o or n)["direction"]
+        if direction == "info":
+            continue
+        old_v = None if o is None else float(o["value"])
+        new_v = None if n is None else float(n["value"])
+        rel = None
+        if old_v is not None and new_v is not None:
+            if old_v == 0.0:
+                rel = 0.0 if new_v == 0.0 else float("inf") * (
+                    1.0 if new_v > 0 else -1.0
+                )
+            else:
+                rel = (new_v - old_v) / abs(old_v)
+        deltas.append(
+            MetricDelta(
+                bench=bench,
+                metric=name,
+                direction=direction,
+                old=old_v,
+                new=new_v,
+                rel_change=rel,
+            )
+        )
+    return deltas
+
+
+def compare_dirs(
+    old_dir: str | Path,
+    new_dir: str | Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ComparisonReport:
+    """Diff two directories of ``BENCH_*.json`` files.
+
+    The baseline (``old_dir``) defines the gated surface: every
+    benchmark it contains must still exist in ``new_dir`` with its
+    gated metrics no worse than ``tolerance``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    old = load_bench_dir(old_dir)
+    new = load_bench_dir(new_dir)
+    report = ComparisonReport(tolerance=tolerance)
+    report.missing_benches = sorted(set(old) - set(new))
+    report.new_benches = sorted(set(new) - set(old))
+    for name in sorted(set(old) & set(new)):
+        report.deltas.extend(_compare_metrics(name, old[name], new[name]))
+    return report
+
+
+def render_comparison(report: ComparisonReport) -> str:
+    """Human-readable comparison summary (the CLI output)."""
+    lines: list[str] = []
+    regressed = {
+        (d.bench, d.metric) for d in report.regressions
+    }
+    interesting = [
+        d for d in report.deltas
+        if d.status != "ok" or (d.bench, d.metric) in regressed
+    ]
+    if interesting:
+        rows = []
+        for d in interesting:
+            flag = (
+                "REGRESSION"
+                if (d.bench, d.metric) in regressed or d.status == "missing"
+                else d.status
+            )
+            rows.append(
+                (
+                    d.bench,
+                    d.metric,
+                    d.direction,
+                    "-" if d.old is None else f"{d.old:.6g}",
+                    "-" if d.new is None else f"{d.new:.6g}",
+                    "-" if d.rel_change is None
+                    else f"{d.rel_change * 100:+.2f}%",
+                    flag,
+                )
+            )
+        lines.append(
+            format_table(
+                ("benchmark", "metric", "better", "old", "new",
+                 "change", "status"),
+                rows,
+                title=(
+                    f"BENCH comparison (tolerance "
+                    f"{report.tolerance * 100:g}%)"
+                ),
+            )
+        )
+    for name in report.missing_benches:
+        lines.append(
+            f"REGRESSION: benchmark {name!r} present in the baseline "
+            "has no BENCH json in the new results"
+        )
+    for name in report.new_benches:
+        lines.append(f"note: new benchmark {name!r} (no baseline yet)")
+    n_gated = len(report.deltas)
+    n_reg = len(report.regressions) + len(report.missing_benches)
+    lines.append(
+        f"{n_gated} gated metric(s) compared, "
+        f"{n_reg} regression(s)"
+        + ("" if n_reg else " - OK")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Tidy record tables: the machine-readable form of every result.
+
+Every figure and table in the evaluation reduces to a *record table* -
+a flat, ordered list of dicts with scalar cells (one dict per plotted
+point / table row).  The registry renders record tables through
+interchangeable backends (paper-style text, JSON, CSV), and the
+converters below build them from each of the repo's result sources:
+
+* in-memory generator outputs (:mod:`repro.experiments.figures` /
+  ``tables`` dataclasses),
+* summarized :class:`~repro.experiments.runner.StrategyRunResult`\\ s
+  (and therefore the result cache),
+* crash-safe sweep journals (:mod:`repro.experiments.journal`),
+* telemetry JSONL directories (:mod:`repro.telemetry`).
+
+Cell values are restricted to ``str | int | float | bool | None`` so a
+table serializes identically through every backend; converters raise
+on anything richer instead of emitting unserializable rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+
+from repro.experiments.figures import (
+    FEATURES,
+    FeatureComparison,
+    Fig1Row,
+    Fig9Row,
+    PowerSweep,
+)
+from repro.experiments.runner import StrategyRunResult
+from repro.experiments.tables import Table1Row, Table2Row
+
+#: the only cell types a record may carry.
+SCALAR_TYPES = (str, int, float, bool, type(None))
+
+Record = dict
+
+
+class RecordError(TypeError):
+    """A record carried a non-scalar cell (would not round-trip
+    through the JSON/CSV backends)."""
+
+
+class RecordTable:
+    """An ordered list of flat records with homogeneous columns.
+
+    Column order is the insertion order of the first record; every
+    record must use exactly the same keys, so the JSON and CSV
+    serializations are deterministic and directly comparable across
+    runs.
+    """
+
+    def __init__(self, records: Iterable[Mapping]) -> None:
+        self.records: list[Record] = []
+        self.columns: tuple[str, ...] = ()
+        for record in records:
+            row = dict(record)
+            for key, value in row.items():
+                if not isinstance(value, SCALAR_TYPES):
+                    raise RecordError(
+                        f"record cell {key!r} has non-scalar type "
+                        f"{type(value).__name__}: {value!r}"
+                    )
+            if not self.columns:
+                self.columns = tuple(row)
+            elif tuple(row) != self.columns:
+                raise RecordError(
+                    f"record columns {tuple(row)} != table columns "
+                    f"{self.columns}"
+                )
+            self.records.append(row)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if self.records and name not in self.columns:
+            raise KeyError(
+                f"no column {name!r}; have {self.columns}"
+            )
+        return [r[name] for r in self.records]
+
+    # -- serialization --------------------------------------------------
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON array of records (floats round-trip via ``repr``)."""
+        return json.dumps(self.records, indent=indent)
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV with a header row, ``\\n`` line endings."""
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(self.columns)
+        for record in self.records:
+            writer.writerow(
+                "" if v is None else v
+                for v in (record[c] for c in self.columns)
+            )
+        return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# StrategyRunResult / sweep converters
+# ---------------------------------------------------------------------------
+def result_record(result: StrategyRunResult) -> Record:
+    """One flat row summarizing a measured strategy run."""
+    return {
+        "strategy": result.strategy,
+        "app": result.app_label,
+        "machine": result.machine,
+        "cap_w": result.cap_w,
+        "time_s": result.time_s,
+        "energy_j": result.energy_j,
+        "repeats": len(result.runs),
+        "tuning_runs": result.tuning_runs,
+        "degradations": len(result.degradations),
+        "cap_changes": len(result.cap_changes),
+    }
+
+
+def sweep_records(
+    sweep: PowerSweep,
+    strategy_order: Sequence[str] = ("default", "arcs-online",
+                                    "arcs-offline"),
+) -> list[Record]:
+    """One row per (power level, strategy) cell of a power sweep, in
+    the paper's presentation order (the order ``render_sweep`` prints
+    and the figures plot)."""
+    rows: list[Record] = []
+    for cap in sweep.caps:
+        label = sweep.cap_label(cap)
+        for strategy in strategy_order:
+            cell = sweep.cells.get((label, strategy))
+            if cell is None:
+                continue
+            result = sweep.results.get((label, strategy))
+            rows.append(
+                {
+                    "app": sweep.app_label,
+                    "machine": sweep.machine,
+                    "power": label,
+                    "strategy": strategy,
+                    "time_norm": cell.time_norm,
+                    "energy_norm": cell.energy_norm,
+                    "time_s": result.time_s if result else None,
+                    "energy_j": result.energy_j if result else None,
+                }
+            )
+    return rows
+
+
+def fig1_records(rows: Sequence[Fig1Row]) -> list[Record]:
+    return [
+        {
+            "power": r.label,
+            "config": r.config,
+            "time_s": r.time_s,
+            "default_time_s": r.default_time_s,
+            "improvement_pct": r.improvement_pct,
+        }
+        for r in rows
+    ]
+
+
+def feature_records(comparison: FeatureComparison) -> list[Record]:
+    """One row per region: chosen config + the four normalized
+    features of Figures 3/6/10 as columns."""
+    rows: list[Record] = []
+    for region in comparison.regions:
+        feats = comparison.offline_normalized[region]
+        row: Record = {
+            "app": comparison.app_label,
+            "region": region,
+            "config": comparison.offline_configs.get(region),
+        }
+        for feature in FEATURES:
+            row[feature] = feats[feature]
+        rows.append(row)
+    return rows
+
+
+def fig9_records(rows: Sequence[Fig9Row]) -> list[Record]:
+    return [
+        {
+            "region": r.region,
+            "calls": r.calls,
+            "implicit_task_s": r.implicit_task_s,
+            "loop_s": r.loop_s,
+            "barrier_s": r.barrier_s,
+            "time_per_call_s": r.time_per_call_s,
+            "barrier_fraction": r.barrier_fraction,
+        }
+        for r in rows
+    ]
+
+
+def table1_records(rows: Sequence[Table1Row]) -> list[Record]:
+    return [
+        {"parameter": r.parameter, "values": r.values} for r in rows
+    ]
+
+
+def table2_records(rows: Sequence[Table2Row]) -> list[Record]:
+    return [{"region": r.region, "config": r.config} for r in rows]
+
+
+# ---------------------------------------------------------------------------
+# on-disk sources: sweep journals and telemetry JSONL
+# ---------------------------------------------------------------------------
+def journal_records(path: str | Path) -> list[Record]:
+    """Flat rows for every completed cell in a sweep journal.
+
+    Cells come out keyed and sorted by their experiment digest (the
+    journal's own identity for a cell), each flattened through
+    :func:`result_record`.
+    """
+    from repro.experiments.journal import SweepJournal
+
+    completed = SweepJournal(path).load()
+    rows: list[Record] = []
+    for digest in sorted(completed):
+        row: Record = {"digest": digest}
+        row.update(result_record(completed[digest]))
+        rows.append(row)
+    return rows
+
+
+def telemetry_records(
+    directory: str | Path, kinds: Sequence[str] | None = None
+) -> list[Record]:
+    """Flat rows for every record in a ``--telemetry`` directory.
+
+    Each JSONL file contributes its stem as the ``stream`` column;
+    nested attribute payloads are flattened to ``attr.<key>`` columns
+    restricted to scalar values (richer payloads are JSON-encoded).
+    ``kinds`` filters on the record ``kind`` (``span``, ``event``,
+    ``metric``, ...).
+    """
+    from repro.telemetry import load_telemetry_dir
+
+    rows: list[Record] = []
+    for stream, records in load_telemetry_dir(directory):
+        for record in records:
+            if kinds is not None and record.get("kind") not in kinds:
+                continue
+            row: Record = {"stream": stream}
+            for key, value in record.items():
+                if isinstance(value, Mapping):
+                    for sub, subval in value.items():
+                        if not isinstance(subval, SCALAR_TYPES):
+                            subval = json.dumps(subval, sort_keys=True)
+                        row[f"{key}.{sub}"] = subval
+                elif isinstance(value, SCALAR_TYPES):
+                    row[key] = value
+                else:
+                    row[key] = json.dumps(value, sort_keys=True)
+            rows.append(row)
+    return rows

@@ -1,0 +1,377 @@
+"""Figure/table registry: every evaluation artifact, one name each.
+
+Maps the name of each figure/table in the paper's evaluation (the stem
+of its ``results/<name>.txt``) to a spec bundling its data generator
+(:mod:`repro.experiments.figures` / ``tables``), its paper-style text
+renderer (:mod:`repro.experiments.reporting`) and its tidy record
+converter (:mod:`repro.analysis.records`).  ``repro figures [NAME
+...]`` walks the registry and regenerates every requested artifact in
+every requested backend (txt / json / csv) deterministically under the
+repro seed - the ProjectScylla ``generate_figures`` idiom, adapted to
+this repo's simulated measurements.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.records import (
+    RecordTable,
+    feature_records,
+    fig1_records,
+    fig9_records,
+    sweep_records,
+    table1_records,
+    table2_records,
+)
+from repro.experiments.cache import ExperimentCache
+from repro.experiments.figures import (
+    fig1_motivation,
+    fig3_sp_features,
+    fig6_bt_features,
+    fig9_lulesh_regions,
+    fig10_lulesh_features,
+    power_sweep,
+)
+from repro.experiments.reporting import (
+    render_features,
+    render_fig1,
+    render_fig9,
+    render_sweep,
+    render_table1,
+    render_table2,
+)
+from repro.experiments.runner import CRILL_POWER_LEVELS
+from repro.experiments.tables import (
+    table1_search_space,
+    table2_sp_optimal_configs,
+)
+from repro.machine.spec import crill, minotaur
+from repro.util.atomicio import atomic_write_text
+from repro.workloads.bt import bt_application
+from repro.workloads.lulesh import lulesh_application
+from repro.workloads.sp import sp_application
+
+#: stamp on every figure JSON payload.
+FIGURE_SCHEMA_VERSION = 1
+
+#: the output backends ``generate`` can write.
+FORMATS = ("txt", "json", "csv")
+
+
+class UnknownFigureError(KeyError):
+    """Asked for a name the registry does not know."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(
+            f"unknown figure/table {name!r}; known names: "
+            + ", ".join(sorted(REGISTRY))
+        )
+
+
+@dataclass(frozen=True)
+class GenOptions:
+    """Knobs shared by every generator (sweep-backed entries use all
+    of them; cheap entries ignore what they don't need)."""
+
+    repeats: int = 3
+    workers: int = 1
+    cache: ExperimentCache | None = None
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registered evaluation artifact."""
+
+    name: str
+    kind: str                                   # "figure" | "table"
+    title: str
+    generate: Callable[[GenOptions], object]
+    render_txt: Callable[[object], str]
+    records: Callable[[object], list[dict]]
+    #: "fast" entries finish in ~seconds; "sweep" entries run full
+    #: power sweeps with tuning (use workers/cache).
+    cost: str = "fast"
+
+
+@dataclass(frozen=True)
+class GeneratedFigure:
+    """The realized artifact in every representation."""
+
+    spec: FigureSpec
+    data: object
+    text: str
+    table: RecordTable
+    paths: dict[str, Path] = field(default_factory=dict)
+
+    def json_payload(self) -> dict:
+        return {
+            "schema": FIGURE_SCHEMA_VERSION,
+            "kind": self.spec.kind,
+            "name": self.spec.name,
+            "title": self.spec.title,
+            "records": self.table.records,
+        }
+
+
+def _sweep_generator(app_factory, spec_factory, caps):
+    def generate(options: GenOptions):
+        return power_sweep(
+            app_factory(),
+            spec_factory(),
+            caps,
+            repeats=options.repeats,
+            workers=options.workers,
+            cache=options.cache,
+        )
+
+    return generate
+
+
+def _spec(
+    name: str,
+    kind: str,
+    title: str,
+    generate,
+    render_txt,
+    records,
+    cost: str = "fast",
+) -> FigureSpec:
+    return FigureSpec(
+        name=name,
+        kind=kind,
+        title=title,
+        generate=generate,
+        render_txt=render_txt,
+        records=records,
+        cost=cost,
+    )
+
+
+def _feature_spec(name: str, title: str, generator) -> FigureSpec:
+    return _spec(
+        name,
+        "figure",
+        title,
+        lambda options: generator(),
+        lambda data: render_features(data, title),
+        feature_records,
+    )
+
+
+_FIG1_TITLE = (
+    "Fig. 1: BT x_solve region - best vs default configuration "
+    "across power levels (smaller is better)"
+)
+_FIG9_TITLE = (
+    "Fig. 9: OMPT event data for top-5 LULESH regions (default "
+    "config, TDP)"
+)
+
+#: name -> spec for every figure and table in the evaluation.  Names
+#: are exactly the stems the benchmark suite writes under results/.
+REGISTRY: dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "fig1_motivation",
+            "figure",
+            _FIG1_TITLE,
+            lambda options: fig1_motivation(),
+            render_fig1,
+            fig1_records,
+        ),
+        _feature_spec(
+            "fig3_sp_features",
+            "Fig. 3: SP major regions, default vs ARCS-Offline (TDP)",
+            fig3_sp_features,
+        ),
+        _spec(
+            "fig4_sp_power_sweep",
+            "figure",
+            "Fig. 4: SP-B on Crill",
+            _sweep_generator(
+                lambda: sp_application("B"), crill, CRILL_POWER_LEVELS
+            ),
+            lambda data: render_sweep(data, "Fig. 4: SP-B on Crill"),
+            sweep_records,
+            cost="sweep",
+        ),
+        _spec(
+            "fig5_sp_classC",
+            "figure",
+            "Fig. 5: SP-C on Crill (TDP)",
+            _sweep_generator(
+                lambda: sp_application("C"), crill, (115.0,)
+            ),
+            lambda data: render_sweep(data, "Fig. 5: SP-C on Crill (TDP)"),
+            sweep_records,
+            cost="sweep",
+        ),
+        _feature_spec(
+            "fig6_bt_features",
+            "Fig. 6: BT compute_rhs, default vs ARCS-Offline (TDP)",
+            fig6_bt_features,
+        ),
+        _spec(
+            "fig7_bt_power_sweep",
+            "figure",
+            "Fig. 7: BT-B on Crill",
+            _sweep_generator(
+                lambda: bt_application("B"), crill, CRILL_POWER_LEVELS
+            ),
+            lambda data: render_sweep(data, "Fig. 7: BT-B on Crill"),
+            sweep_records,
+            cost="sweep",
+        ),
+        _spec(
+            "fig8_lulesh_crill",
+            "figure",
+            "Fig. 8a/8b: LULESH-45 on Crill",
+            _sweep_generator(
+                lambda: lulesh_application(45), crill,
+                CRILL_POWER_LEVELS,
+            ),
+            lambda data: render_sweep(
+                data, "Fig. 8a/8b: LULESH-45 on Crill"
+            ),
+            sweep_records,
+            cost="sweep",
+        ),
+        _spec(
+            "fig8_lulesh_minotaur",
+            "figure",
+            "Fig. 8c: LULESH-45 on Minotaur (time only)",
+            _sweep_generator(
+                lambda: lulesh_application(45), minotaur, (190.0,)
+            ),
+            lambda data: render_sweep(
+                data, "Fig. 8c: LULESH-45 on Minotaur (time only)"
+            ),
+            sweep_records,
+            cost="sweep",
+        ),
+        _spec(
+            "fig9_lulesh_regions",
+            "figure",
+            _FIG9_TITLE,
+            lambda options: fig9_lulesh_regions(),
+            render_fig9,
+            fig9_records,
+        ),
+        _feature_spec(
+            "fig10_lulesh_features",
+            "Fig. 10: LULESH CalcFBHourglassForceForElems, default vs "
+            "ARCS-Offline",
+            fig10_lulesh_features,
+        ),
+        _spec(
+            "table1_search_space",
+            "table",
+            "Table I: ARCS search parameters for OpenMP parallel "
+            "regions",
+            lambda options: table1_search_space(),
+            render_table1,
+            table1_records,
+        ),
+        _spec(
+            "table2_sp_optimal_configs",
+            "table",
+            "Table II: optimal configuration chosen by ARCS-Offline "
+            "for SP regions",
+            lambda options: table2_sp_optimal_configs(),
+            render_table2,
+            table2_records,
+        ),
+    )
+}
+
+
+def figure_names(cost: str | None = None) -> list[str]:
+    """Registered names (optionally filtered by cost class)."""
+    return [
+        name
+        for name, spec in sorted(REGISTRY.items())
+        if cost is None or spec.cost == cost
+    ]
+
+
+def get_spec(name: str) -> FigureSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise UnknownFigureError(name) from None
+
+
+def generate_figure(
+    name: str, options: GenOptions | None = None
+) -> GeneratedFigure:
+    """Run one registered generator and realize every representation
+    (no files written - see :func:`write_figure`)."""
+    spec = get_spec(name)
+    options = options or GenOptions()
+    data = spec.generate(options)
+    return GeneratedFigure(
+        spec=spec,
+        data=data,
+        text=spec.render_txt(data),
+        table=RecordTable(spec.records(data)),
+    )
+
+
+def write_figure(
+    generated: GeneratedFigure,
+    out_dir: str | Path,
+    formats: Sequence[str] = FORMATS,
+) -> dict[str, Path]:
+    """Atomically write one generated artifact in each requested
+    backend; returns ``format -> path``."""
+    out_dir = Path(out_dir)
+    name = generated.spec.name
+    paths: dict[str, Path] = {}
+    for fmt in formats:
+        if fmt == "txt":
+            path = out_dir / f"{name}.txt"
+            atomic_write_text(path, generated.text + "\n")
+        elif fmt == "json":
+            path = out_dir / f"{name}.json"
+            atomic_write_text(
+                path,
+                json.dumps(generated.json_payload(), indent=2) + "\n",
+            )
+        elif fmt == "csv":
+            path = out_dir / f"{name}.csv"
+            atomic_write_text(path, generated.table.to_csv())
+        else:
+            raise ValueError(
+                f"unknown output format {fmt!r}; choose from {FORMATS}"
+            )
+        paths[fmt] = path
+    generated.paths.update(paths)
+    return paths
+
+
+def generate_figures(
+    names: Sequence[str] | None = None,
+    out_dir: str | Path = "results",
+    formats: Sequence[str] = FORMATS,
+    options: GenOptions | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[GeneratedFigure]:
+    """Regenerate registered artifacts (all of them by default) into
+    ``out_dir``; the workhorse behind ``repro figures``."""
+    if names is None or not names:
+        names = figure_names()
+    specs = [get_spec(name) for name in names]  # validate all first
+    generated: list[GeneratedFigure] = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.name)
+        artifact = generate_figure(spec.name, options)
+        write_figure(artifact, out_dir, formats)
+        generated.append(artifact)
+    return generated

@@ -17,6 +17,18 @@ from collections.abc import Sequence
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.analysis.compare import (
+    DEFAULT_TOLERANCE,
+    compare_dirs,
+    render_comparison,
+)
+from repro.analysis.registry import (
+    FORMATS as FIGURE_FORMATS,
+    GenOptions,
+    UnknownFigureError,
+    figure_names,
+    generate_figures,
+)
 from repro.core.capschedule import (
     CapSchedule,
     CapScheduleError,
@@ -165,6 +177,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch", action="store_true",
         help="disable batched configuration evaluation in every cell "
              "(including worker processes)",
+    )
+
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate registered paper figures/tables from the "
+             "figure registry (txt / json / csv backends)",
+    )
+    figures.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="registry names to regenerate (default: all); see --list",
+    )
+    figures.add_argument(
+        "--list", action="store_true", dest="list_figures",
+        help="list registered figure/table names and exit",
+    )
+    figures.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default: results)",
+    )
+    figures.add_argument(
+        "--formats", default=",".join(FIGURE_FORMATS),
+        help="comma-separated output backends "
+             f"(default: {','.join(FIGURE_FORMATS)})",
+    )
+    figures.add_argument("--repeats", type=int, default=3)
+    figures.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for sweep-backed figures",
+    )
+    figures.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute sweep cells instead of using the result cache",
+    )
+    figures.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    analysis = sub.add_parser(
+        "analysis",
+        help="machine-readable results tooling (BENCH_*.json)",
+    )
+    analysis_sub = analysis.add_subparsers(
+        dest="analysis_command", required=True
+    )
+    compare = analysis_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json result sets; exit 1 on regression",
+    )
+    compare.add_argument("old", metavar="OLD",
+                         help="baseline directory of BENCH_*.json files")
+    compare.add_argument("new", metavar="NEW",
+                         help="new directory of BENCH_*.json files")
+    compare.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative tolerance before a worse-direction move counts "
+             f"as a regression (default: {DEFAULT_TOLERANCE})",
     )
 
     trace = sub.add_parser(
@@ -408,6 +477,80 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_figures(args: argparse.Namespace) -> str:
+    if args.list_figures:
+        rows = []
+        from repro.analysis.registry import REGISTRY
+
+        for name in figure_names():
+            spec = REGISTRY[name]
+            rows.append((name, spec.kind, spec.cost, spec.title))
+        return format_table(
+            ("name", "kind", "cost", "title"), rows,
+            title="Registered figures/tables",
+        )
+    formats = tuple(
+        f.strip() for f in args.formats.split(",") if f.strip()
+    )
+    bad = [f for f in formats if f not in FIGURE_FORMATS]
+    if bad or not formats:
+        raise SystemExit(
+            f"error: unknown format(s) {', '.join(bad) or '(none)'}; "
+            f"choose from {', '.join(FIGURE_FORMATS)}"
+        )
+    if args.workers < 1:
+        raise SystemExit(
+            f"error: --workers must be >= 1, got {args.workers}"
+        )
+    options = GenOptions(
+        repeats=args.repeats,
+        workers=args.workers,
+        cache=(
+            None if args.no_cache else ExperimentCache(args.cache_dir)
+        ),
+    )
+    lines: list[str] = []
+    try:
+        generated = generate_figures(
+            args.names or None,
+            out_dir=args.out,
+            formats=formats,
+            options=options,
+            progress=lambda name: lines.append(f"[figures] {name} ..."),
+        )
+    except UnknownFigureError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    for artifact in generated:
+        written = ", ".join(
+            str(artifact.paths[fmt]) for fmt in formats
+        )
+        lines.append(
+            f"[figures] {artifact.spec.name}: wrote {written}"
+        )
+    lines.append(
+        f"regenerated {len(generated)} artifact(s) under {args.out}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_analysis(args: argparse.Namespace) -> tuple[str, int]:
+    # only one analysis subcommand today; keep the dispatch explicit
+    # so the next one (e.g. `analysis trend`) slots in cleanly.
+    if args.analysis_command == "compare":
+        try:
+            report = compare_dirs(
+                args.old, args.new, tolerance=args.tolerance
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        return render_comparison(report), (0 if report.ok else 1)
+    raise SystemExit(
+        f"error: unknown analysis command {args.analysis_command!r}"
+    )
+
+
 def _load_telemetry(directory: str):
     try:
         return load_telemetry_dir(directory)
@@ -437,6 +580,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_run(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "figures":
+        print(_cmd_figures(args))
+    elif args.command == "analysis":
+        text, code = _cmd_analysis(args)
+        print(text)
+        return code
     elif args.command == "trace":
         print(_cmd_trace(args))
     elif args.command == "report":

@@ -19,8 +19,18 @@ def normalized_series(
     normalized values; < 1.0 means better than default).
 
     ``metric`` is ``"time"`` or ``"energy"``.
+
+    Raises :class:`ValueError` when the baseline metric is ``0.0`` (a
+    degenerate/degraded baseline run): normalizing to it would emit
+    ``inf``/``nan`` into every downstream figure.
     """
     base = _metric(baseline, metric)
+    if base == 0.0:
+        raise ValueError(
+            f"cannot normalize to baseline strategy "
+            f"{baseline.strategy!r}: its {metric} metric is 0.0 "
+            f"(degenerate baseline run on {baseline.machine})"
+        )
     out = {baseline.strategy: 1.0}
     for result in others:
         out[result.strategy] = _metric(result, metric) / base
@@ -32,7 +42,17 @@ def best_improvement(
     others: Sequence[StrategyRunResult],
     metric: str = "time",
 ) -> float:
-    """Largest percentage improvement over the baseline."""
+    """Largest percentage improvement over the baseline.
+
+    Raises :class:`ValueError` when ``others`` is empty instead of
+    letting ``max()`` fail with its bare empty-sequence error.
+    """
+    if not others:
+        raise ValueError(
+            f"best_improvement over baseline strategy "
+            f"{baseline.strategy!r} needs at least one comparison "
+            "result; got an empty sequence"
+        )
     base = _metric(baseline, metric)
     return max(
         improvement_pct(base, _metric(r, metric)) for r in others

@@ -1,7 +1,22 @@
-"""Paper-style text rendering of figure/table data."""
+"""Paper-style text rendering of figure/table data.
+
+Each renderer is the *text backend* of the figure registry
+(:mod:`repro.analysis.registry`): it formats the same tidy record rows
+(:mod:`repro.analysis.records`) that the JSON and CSV backends
+serialize, so every representation of a figure is guaranteed to show
+the same numbers.
+"""
 
 from __future__ import annotations
 
+from repro.analysis.records import (
+    feature_records,
+    fig1_records,
+    fig9_records,
+    sweep_records,
+    table1_records,
+    table2_records,
+)
 from repro.experiments.figures import (
     FEATURES,
     FeatureComparison,
@@ -17,14 +32,16 @@ STRATEGY_ORDER = ("default", "arcs-online", "arcs-offline")
 
 def render_fig1(rows: list[Fig1Row]) -> str:
     table_rows = []
-    for r in rows:
-        imp = r.improvement_pct
+    for r in fig1_records(rows):
+        imp = r["improvement_pct"]
         table_rows.append(
             (
-                r.label,
-                r.config,
-                f"{r.time_s:.3f}",
-                "-" if r.default_time_s is None else f"{r.default_time_s:.3f}",
+                r["power"],
+                r["config"],
+                f"{r['time_s']:.3f}",
+                "-"
+                if r["default_time_s"] is None
+                else f"{r['default_time_s']:.3f}",
                 "-" if imp is None else f"{imp:.1f}%",
             )
         )
@@ -39,16 +56,14 @@ def render_fig1(rows: list[Fig1Row]) -> str:
 
 
 def render_features(comparison: FeatureComparison, title: str) -> str:
-    rows = []
-    for region in comparison.regions:
-        feats = comparison.offline_normalized[region]
-        rows.append(
-            (
-                region,
-                comparison.offline_configs.get(region, "-"),
-                *(f"{feats[f]:.3f}" for f in FEATURES),
-            )
+    rows = [
+        (
+            r["region"],
+            "-" if r["config"] is None else r["config"],
+            *(f"{r[f]:.3f}" for f in FEATURES),
         )
+        for r in feature_records(comparison)
+    ]
     return format_table(
         ("region", "ARCS-Offline config", *FEATURES),
         rows,
@@ -59,23 +74,17 @@ def render_features(comparison: FeatureComparison, title: str) -> str:
 
 
 def render_sweep(sweep: PowerSweep, title: str) -> str:
-    rows = []
-    for cap in sweep.caps:
-        label = sweep.cap_label(cap)
-        for strategy in STRATEGY_ORDER:
-            cell = sweep.cells.get((label, strategy))
-            if cell is None:
-                continue
-            rows.append(
-                (
-                    label,
-                    strategy,
-                    f"{cell.time_norm:.3f}",
-                    "-"
-                    if cell.energy_norm is None
-                    else f"{cell.energy_norm:.3f}",
-                )
-            )
+    rows = [
+        (
+            r["power"],
+            r["strategy"],
+            f"{r['time_norm']:.3f}",
+            "-"
+            if r["energy_norm"] is None
+            else f"{r['energy_norm']:.3f}",
+        )
+        for r in sweep_records(sweep, STRATEGY_ORDER)
+    ]
     return format_table(
         ("power", "strategy", "time (norm)", "pkg energy (norm)"),
         rows,
@@ -86,14 +95,14 @@ def render_sweep(sweep: PowerSweep, title: str) -> str:
 def render_fig9(rows: list[Fig9Row]) -> str:
     table_rows = [
         (
-            r.region,
-            r.calls,
-            f"{r.implicit_task_s:.3f}",
-            f"{r.loop_s:.3f}",
-            f"{r.barrier_s:.3f}",
-            f"{r.time_per_call_s * 1e3:.3f}",
+            r["region"],
+            r["calls"],
+            f"{r['implicit_task_s']:.3f}",
+            f"{r['loop_s']:.3f}",
+            f"{r['barrier_s']:.3f}",
+            f"{r['time_per_call_s'] * 1e3:.3f}",
         )
-        for r in rows
+        for r in fig9_records(rows)
     ]
     return format_table(
         (
@@ -113,7 +122,7 @@ def render_fig9(rows: list[Fig9Row]) -> str:
 def render_table1(rows: list[Table1Row]) -> str:
     return format_table(
         ("Parameter", "Set of values"),
-        [(r.parameter, r.values) for r in rows],
+        [(r["parameter"], r["values"]) for r in table1_records(rows)],
         title="Table I: ARCS search parameters for OpenMP parallel regions",
     )
 
@@ -121,7 +130,7 @@ def render_table1(rows: list[Table1Row]) -> str:
 def render_table2(rows: list[Table2Row]) -> str:
     return format_table(
         ("Region", "Optimal Configuration (Thread, Schedule, Chunk)"),
-        [(r.region, r.config) for r in rows],
+        [(r["region"], r["config"]) for r in table2_records(rows)],
         title="Table II: optimal configuration chosen by ARCS-Offline for "
         "SP regions",
     )

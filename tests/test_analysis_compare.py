@@ -1,0 +1,129 @@
+"""Tests for BENCH baseline comparison (:mod:`repro.analysis.compare`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bench import bench_payload, write_bench_json
+from repro.analysis.compare import (
+    compare_dirs,
+    render_comparison,
+    DEFAULT_TOLERANCE,
+)
+
+
+def bench_dirs(tmp_path, old_metrics, new_metrics, name="speed"):
+    old_dir = tmp_path / "old"
+    new_dir = tmp_path / "new"
+    old_dir.mkdir(exist_ok=True)
+    new_dir.mkdir(exist_ok=True)
+    write_bench_json(old_dir, bench_payload(name, old_metrics))
+    write_bench_json(new_dir, bench_payload(name, new_metrics))
+    return old_dir, new_dir
+
+
+class TestCompare:
+    def test_identical_is_ok(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 1.0})
+        report = compare_dirs(old, new)
+        assert report.ok
+        assert report.regressions == []
+
+    def test_injected_regression_is_flagged(self, tmp_path):
+        # 20% slower on a lower-is-better metric, 5% tolerance
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 1.2})
+        report = compare_dirs(old, new, tolerance=0.05)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "t"
+        assert delta.rel_change == pytest.approx(0.2)
+
+    def test_within_tolerance_is_ok(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 1.04})
+        assert compare_dirs(old, new, tolerance=0.05).ok
+
+    def test_improvement_never_fails(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 0.2})
+        report = compare_dirs(old, new)
+        assert report.ok
+        (delta,) = report.deltas
+        assert delta.status == "better"
+
+    def test_higher_is_better_direction(self, tmp_path):
+        higher = {"value": 10.0, "direction": "higher"}
+        dropped = {"value": 8.0, "direction": "higher"}
+        old, new = bench_dirs(tmp_path, {"s": higher}, {"s": dropped})
+        report = compare_dirs(old, new, tolerance=0.05)
+        assert not report.ok  # 20% drop on higher-is-better
+
+    def test_info_metrics_never_gated(self, tmp_path):
+        info = {"value": 1.0, "direction": "info"}
+        worse = {"value": 100.0, "direction": "info"}
+        old, new = bench_dirs(tmp_path, {"wall": info}, {"wall": worse})
+        report = compare_dirs(old, new)
+        assert report.ok
+        assert report.deltas == []
+
+    def test_missing_metric_is_regression(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {})
+        report = compare_dirs(old, new)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.status == "missing"
+
+    def test_missing_bench_is_regression(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir(), new_dir.mkdir()
+        write_bench_json(old_dir, bench_payload("gone", {"t": 1.0}))
+        report = compare_dirs(old_dir, new_dir)
+        assert not report.ok
+        assert report.missing_benches == ["gone"]
+
+    def test_new_bench_and_metric_only_noted(self, tmp_path):
+        old, new = bench_dirs(
+            tmp_path, {"t": 1.0}, {"t": 1.0, "extra": 9.0}
+        )
+        write_bench_json(new, bench_payload("fresh", {"t": 1.0}))
+        report = compare_dirs(old, new)
+        assert report.ok
+        assert report.new_benches == ["fresh"]
+        assert any(d.status == "new" for d in report.deltas)
+
+    def test_zero_baseline_regression(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 0.0}, {"t": 1.0})
+        report = compare_dirs(old, new)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.rel_change == float("inf")
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {}, {})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_dirs(old, new, tolerance=-0.1)
+
+    def test_default_tolerance(self):
+        assert DEFAULT_TOLERANCE == 0.05
+
+
+class TestRender:
+    def test_ok_summary_line(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 1.0})
+        out = render_comparison(compare_dirs(old, new))
+        assert out.endswith("1 gated metric(s) compared, "
+                            "0 regression(s) - OK")
+
+    def test_regression_flagged_in_table(self, tmp_path):
+        old, new = bench_dirs(tmp_path, {"t": 1.0}, {"t": 2.0})
+        out = render_comparison(compare_dirs(old, new))
+        assert "REGRESSION" in out
+        assert "+100.00%" in out
+        assert "1 regression(s)" in out
+
+    def test_missing_bench_rendered(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir(), new_dir.mkdir()
+        write_bench_json(old_dir, bench_payload("gone", {"t": 1.0}))
+        out = render_comparison(compare_dirs(old_dir, new_dir))
+        assert "REGRESSION: benchmark 'gone'" in out

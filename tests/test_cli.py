@@ -141,6 +141,105 @@ class TestCommands:
         assert "chosen configurations" in capsys.readouterr().out
 
 
+class TestFiguresCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.names == []
+        assert args.out == "results"
+        assert args.formats == "txt,json,csv"
+        assert args.workers == 1
+
+    def test_list(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1_motivation" in out
+        assert "table2_sp_optimal_configs" in out
+        assert "sweep" in out  # cost column
+
+    def test_unknown_name_is_friendly(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["figures", "fig99_dreams",
+                  "--out", str(tmp_path)])
+        message = str(err.value.code)
+        assert message.startswith("error:")
+        assert "fig99_dreams" in message
+        assert "fig1_motivation" in message  # lists known names
+
+    def test_unknown_format_is_friendly(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["figures", "table1_search_space",
+                  "--out", str(tmp_path), "--formats", "pdf"])
+        assert "pdf" in str(err.value.code)
+
+    def test_zero_workers_is_friendly(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["figures", "table1_search_space",
+                  "--out", str(tmp_path), "--workers", "0"])
+        assert "--workers" in str(err.value.code)
+
+    def test_regenerates_fast_table(self, tmp_path, capsys):
+        assert main(
+            ["figures", "table1_search_space",
+             "--out", str(tmp_path), "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "regenerated 1 artifact(s)" in out
+        for suffix in (".txt", ".json", ".csv"):
+            assert (tmp_path / f"table1_search_space{suffix}").exists()
+
+    def test_repeated_regeneration_is_byte_identical(self, tmp_path):
+        argv = ["figures", "table1_search_space", "fig9_lulesh_regions",
+                "--out", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        first = {
+            p.name: p.read_bytes() for p in tmp_path.iterdir()
+        }
+        assert main(argv) == 0
+        second = {
+            p.name: p.read_bytes() for p in tmp_path.iterdir()
+        }
+        assert first == second
+
+
+class TestAnalysisCommand:
+    @staticmethod
+    def write_bench(directory, name, value):
+        from repro.analysis.bench import bench_payload, write_bench_json
+
+        directory.mkdir(exist_ok=True)
+        write_bench_json(
+            directory, bench_payload(name, {"t": value})
+        )
+
+    def test_compare_ok_exit_zero(self, tmp_path, capsys):
+        self.write_bench(tmp_path / "old", "speed", 1.0)
+        self.write_bench(tmp_path / "new", "speed", 1.0)
+        code = main(["analysis", "compare",
+                     str(tmp_path / "old"), str(tmp_path / "new")])
+        assert code == 0
+        assert "0 regression(s) - OK" in capsys.readouterr().out
+
+    def test_compare_regression_exit_one(self, tmp_path, capsys):
+        self.write_bench(tmp_path / "old", "speed", 1.0)
+        self.write_bench(tmp_path / "new", "speed", 2.0)
+        code = main(["analysis", "compare",
+                     str(tmp_path / "old"), str(tmp_path / "new"),
+                     "--tolerance", "0.05"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_missing_dir_is_friendly(self, tmp_path):
+        self.write_bench(tmp_path / "old", "speed", 1.0)
+        with pytest.raises(SystemExit) as err:
+            main(["analysis", "compare", str(tmp_path / "old"),
+                  str(tmp_path / "nope")])
+        assert str(err.value.code).startswith("error:")
+
+    def test_compare_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analysis"])
+
+
 def write_capsched(tmp_path, after=30, cap_w=55.0):
     import json
 

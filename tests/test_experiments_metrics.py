@@ -65,6 +65,24 @@ class TestMetrics:
         others = [result("a", 8.0), result("b", 6.0)]
         assert best_improvement(base, others) == pytest.approx(40.0)
 
+    def test_best_improvement_empty_others(self):
+        """Used to crash with a bare ``max() arg is an empty
+        sequence``; must name the baseline strategy instead."""
+        with pytest.raises(ValueError, match="'default'"):
+            best_improvement(result("default", 10.0), [])
+
+    def test_zero_baseline_time(self):
+        """Used to divide by zero; must explain the degenerate
+        baseline."""
+        base = result("default", 0.0)
+        with pytest.raises(ValueError, match="0.0"):
+            normalized_series(base, [result("a", 1.0)], "time")
+
+    def test_zero_baseline_energy(self):
+        base = result("default", 10.0, 0.0)
+        with pytest.raises(ValueError, match="energy"):
+            normalized_series(base, [result("a", 1.0, 2.0)], "energy")
+
     def test_unknown_metric(self):
         with pytest.raises(ValueError):
             normalized_series(result("default", 1.0), [], "flops")
@@ -132,3 +150,94 @@ class TestRendering:
             [Table2Row("x_solve", "16, guided, 1")]
         )
         assert "x_solve" in out2
+
+
+class TestRenderingGoldens:
+    """Byte-exact snapshots of every text renderer on fixed synthetic
+    inputs - the refactor onto tidy records must never change a single
+    character of the paper-style output.  Refresh deliberately with
+    ``--update-goldens``."""
+
+    def check(self, name, text, goldens_dir, update_goldens):
+        from tests.test_golden_masters import check_golden
+
+        check_golden(name, text + "\n", goldens_dir, update_goldens)
+
+    def test_fig1_golden(self, goldens_dir, update_goldens):
+        rows = [
+            Fig1Row("55W", "16, guided, 8", 1.0, 1.5),
+            Fig1Row("NO CAP", "32, static, default", 2.0, None),
+        ]
+        self.check(
+            "render_fig1.txt", render_fig1(rows),
+            goldens_dir, update_goldens,
+        )
+
+    def test_features_golden(self, goldens_dir, update_goldens):
+        comparison = FeatureComparison(
+            app_label="sp.B",
+            regions=("x_solve", "y_solve"),
+            offline_normalized={
+                "x_solve": {
+                    "OMP_BARRIER": 0.5, "L1 miss": 0.9,
+                    "L2 miss": 0.8, "L3 miss": 0.1,
+                },
+                "y_solve": {
+                    "OMP_BARRIER": 1.25, "L1 miss": 1.0,
+                    "L2 miss": 0.75, "L3 miss": 0.5,
+                },
+            },
+            offline_configs={"x_solve": "16, guided, 1"},
+        )
+        self.check(
+            "render_features.txt",
+            render_features(comparison, "Fig 3 (synthetic)"),
+            goldens_dir, update_goldens,
+        )
+
+    def test_sweep_golden(self, goldens_dir, update_goldens):
+        sweep = PowerSweep(
+            app_label="sp.B",
+            machine="crill",
+            caps=(115.0, 55.0),
+            cells={
+                ("TDP", "default"): SweepCell(1.0, 1.0),
+                ("TDP", "arcs-offline"): SweepCell(0.7, 0.65),
+                ("55W", "default"): SweepCell(1.0, None),
+                ("55W", "arcs-online"): SweepCell(0.85, None),
+            },
+            results={},
+        )
+        self.check(
+            "render_sweep.txt",
+            render_sweep(sweep, "Fig 4 (synthetic)"),
+            goldens_dir, update_goldens,
+        )
+
+    def test_fig9_golden(self, goldens_dir, update_goldens):
+        rows = [
+            Fig9Row("EvalEOSForElems_", 1920, 1.5, 0.6, 0.8),
+            Fig9Row("CalcPressure_", 960, 0.25, 0.1, 0.05),
+        ]
+        self.check(
+            "render_fig9.txt", render_fig9(rows),
+            goldens_dir, update_goldens,
+        )
+
+    def test_tables_golden(self, goldens_dir, update_goldens):
+        self.check(
+            "render_table1.txt",
+            render_table1(
+                [Table1Row("Chunk Size", "1, 8, default"),
+                 Table1Row("Thread Count", "2, 4, 8")]
+            ),
+            goldens_dir, update_goldens,
+        )
+        self.check(
+            "render_table2.txt",
+            render_table2(
+                [Table2Row("x_solve", "16, guided, 1"),
+                 Table2Row("y_solve", "32, dynamic, 8")]
+            ),
+            goldens_dir, update_goldens,
+        )
