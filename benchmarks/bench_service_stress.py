@@ -1,0 +1,190 @@
+"""Tuning-service stress benchmark: one daemon, hundreds of tenants.
+
+Boots ONE real daemon (:class:`~repro.service.daemon.ThreadedDaemon`)
+and drives it with 200+ concurrent clients, each running its own
+deterministic fault injector (the ``examples/netfaults.json`` mix:
+refused connects, hangs, slow and torn responses, mid-write server
+crashes).  Every client performs a lookup/publish workload over a
+shared key population; the acceptance criteria:
+
+* the daemon survives the whole storm (final ``ping`` answers);
+* zero unhandled client errors - every network failure either retries
+  to success or surfaces as a typed :class:`ServiceError` the
+  ConfigSource chain would degrade on;
+* the run reports store hit rate plus client-side p50/p95/p99 request
+  latencies into ``BENCH_service_stress.json``.
+
+Latency numbers are wall-clock and therefore marked ``info`` (never
+gated); the structural counters (clients completed, unhandled errors)
+are the hard metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.faults.inject import make_injector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ThreadedDaemon
+from repro.util.tables import format_table
+
+N_CLIENTS = 200
+OPS_PER_CLIENT = 8
+KEY_POPULATION = 40
+SEED = 1789
+
+#: the examples/netfaults.json mix, scaled down so the retry budget
+#: usually wins (the point is sustained throughput under faults, not
+#: a dead network).
+FAULT_PLAN = FaultPlan(
+    specs=(
+        FaultSpec(
+            site="service.connect", action="refused", probability=0.06
+        ),
+        FaultSpec(
+            site="service.response", action="hang", probability=0.03
+        ),
+        FaultSpec(
+            site="service.response",
+            action="slow",
+            probability=0.05,
+            magnitude=0.002,
+        ),
+        FaultSpec(
+            site="service.payload", action="torn", probability=0.03
+        ),
+        FaultSpec(
+            site="service.payload", action="corrupt", probability=0.03
+        ),
+    ),
+    seed=SEED,
+)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _client_workload(
+    index: int, address: tuple[str, int]
+) -> dict[str, float | int | list[float]]:
+    """One tenant: publish its own entry, then look up a spread of
+    keys (its own plus neighbours'), under its own fault stream."""
+    client = ServiceClient(
+        address,
+        deadline_s=1.0,
+        faults=make_injector(FAULT_PLAN, salt=("stress", index)),
+    )
+    latencies: list[float] = []
+    fallbacks = 0
+    errors = 0
+    for op in range(OPS_PER_CLIENT):
+        key = f"ctx-{(index + op) % KEY_POPULATION:04d}"
+        t0 = time.perf_counter()
+        try:
+            if op == 0:
+                client.put(key, {"schema": 1, "owner": index})
+            else:
+                client.get(key)
+        except ServiceError:
+            # what the ConfigSource chain would degrade on: counted,
+            # never raised further.
+            fallbacks += 1
+        except Exception:  # noqa: BLE001 - the hard failure counter
+            errors += 1
+        latencies.append(time.perf_counter() - t0)
+    return {
+        "index": index,
+        "fallbacks": fallbacks,
+        "errors": errors,
+        "latencies": latencies,
+    }
+
+
+def test_service_stress(save_result, tmp_path):
+    with ThreadedDaemon(tmp_path / "store", capacity=4096) as td:
+        address = td.address
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=64) as pool:
+            reports = list(
+                pool.map(
+                    lambda i: _client_workload(i, address),
+                    range(N_CLIENTS),
+                )
+            )
+        wall_s = time.perf_counter() - started
+        # the daemon must still be alive and coherent after the storm
+        probe = ServiceClient(address, deadline_s=5.0)
+        final = probe.stats()
+
+    latencies = sorted(
+        latency
+        for report in reports
+        for latency in report["latencies"]
+    )
+    fallbacks = sum(r["fallbacks"] for r in reports)
+    errors = sum(r["errors"] for r in reports)
+    requests = len(latencies)
+    stats = final["stats"]
+    served = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / served if served else 0.0
+    p50, p95, p99 = (
+        _percentile(latencies, q) for q in (0.50, 0.95, 0.99)
+    )
+
+    assert len(reports) == N_CLIENTS
+    assert errors == 0, f"{errors} unhandled client error(s)"
+    assert final["ok"] is True
+    assert stats["puts"] >= 1 and served >= 1
+
+    rows = [
+        ["clients", str(N_CLIENTS)],
+        ["client requests", str(requests)],
+        ["typed fallbacks", str(fallbacks)],
+        ["unhandled errors", str(errors)],
+        ["store hit rate", f"{hit_rate:.3f}"],
+        ["p50 latency (ms)", f"{p50 * 1e3:.2f}"],
+        ["p95 latency (ms)", f"{p95 * 1e3:.2f}"],
+        ["p99 latency (ms)", f"{p99 * 1e3:.2f}"],
+        ["wall time (s)", f"{wall_s:.2f}"],
+    ]
+    save_result(
+        "service_stress",
+        format_table(["metric", "value"], rows),
+        metrics={
+            "clients": {"value": N_CLIENTS, "direction": "higher"},
+            "requests": {"value": requests, "direction": "higher"},
+            "unhandled_errors": errors,
+            "fallbacks": {"value": fallbacks, "direction": "info"},
+            "hit_rate": {"value": hit_rate, "direction": "higher"},
+            "p50_latency_ms": {
+                "value": p50 * 1e3,
+                "direction": "info",
+            },
+            "p95_latency_ms": {
+                "value": p95 * 1e3,
+                "direction": "info",
+            },
+            "p99_latency_ms": {
+                "value": p99 * 1e3,
+                "direction": "info",
+            },
+            "wall_s": {"value": wall_s, "direction": "info"},
+        },
+        seed=SEED,
+        config={
+            "clients": N_CLIENTS,
+            "ops_per_client": OPS_PER_CLIENT,
+            "key_population": KEY_POPULATION,
+            "fault_sites": sorted(
+                {spec.site for spec in FAULT_PLAN.specs}
+            ),
+        },
+    )

@@ -131,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable batched configuration evaluation "
                           "(results are byte-identical either way; "
                           "escape hatch for debugging)")
+    run.add_argument("--service", default=None, metavar="HOST:PORT",
+                     help="tuning-service daemon consulted before "
+                          "fresh tuning (arcs-offline only); results "
+                          "are byte-identical with or without it")
+    run.add_argument("--service-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-request deadline for --service "
+                          "(default: 2.0)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -177,6 +185,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch", action="store_true",
         help="disable batched configuration evaluation in every cell "
              "(including worker processes)",
+    )
+    sweep.add_argument(
+        "--service", default=None, metavar="HOST:PORT",
+        help="tuning-service daemon shared by the offline cells; "
+             "tuned configs are fetched from / published to it, with "
+             "local fallback on any failure",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the tuning-as-a-service config-knowledge daemon",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="directory holding the daemon's sharded knowledge store",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9178,
+                       help="TCP port (0 = ephemeral; default: 9178)")
+    serve.add_argument(
+        "--capacity", type=int, default=None,
+        help="LRU entry capacity (default: 4096)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="fault-injection plan for the server-side "
+             "service.server site (chaos testing)",
     )
 
     figures = sub.add_parser(
@@ -321,6 +356,28 @@ def _apply_no_batch(args: argparse.Namespace) -> None:
         set_batching(False)
 
 
+def _service_chain(
+    address: str | None,
+    fault_plan: FaultPlan | None,
+    deadline_s: float | None = None,
+):
+    """Build the degradation-ordered ConfigSource chain for --service
+    (``None`` when no service was requested)."""
+    if address is None:
+        return None
+    from repro.service.source import default_chain
+
+    try:
+        return default_chain(
+            address,
+            faults=make_injector(fault_plan, salt="service-client"),
+            deadline_s=deadline_s,
+        )
+    except ValueError as exc:
+        # a malformed host:port string
+        raise SystemExit(f"error: {exc}") from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     _apply_no_batch(args)
     spec = machine_by_name(args.machine)
@@ -336,6 +393,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
         # --repeats 0: refuse loudly instead of mis-reporting.
         raise SystemExit(f"error: {exc}") from exc
     history = HistoryStore(args.history) if args.history else None
+    source = _service_chain(
+        args.service, setup.fault_plan, args.service_deadline
+    )
 
     def _execute():
         try:
@@ -343,6 +403,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 args.strategy, app, setup, history=history,
                 checkpoint_path=args.checkpoint,
                 resume_from=args.resume_from,
+                source=source,
             )
         except RunAbortedError as exc:
             # land the abort in the event log (and thus the timeline)
@@ -439,6 +500,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             app, spec, caps, repeats=args.repeats, seed=args.seed,
             workers=args.workers, cache=cache, executor=executor,
             fault_plan=fault_plan, telemetry_dir=args.telemetry,
+            service=args.service,
         )
 
     try:
@@ -475,6 +537,28 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"{cache.stats.misses} miss(es) under {cache.root}"
         )
     return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the tuning-service daemon until shutdown/Ctrl-C."""
+    from repro.service.daemon import serve_forever
+
+    if args.capacity is not None and args.capacity < 1:
+        raise SystemExit(
+            f"error: --capacity must be >= 1, got {args.capacity}"
+        )
+    try:
+        serve_forever(
+            args.store,
+            host=args.host,
+            port=args.port,
+            fault_plan=_load_faults(args.faults),
+            capacity=args.capacity,
+        )
+    except OSError as exc:
+        # e.g. the port is taken or the host cannot be bound
+        raise SystemExit(f"error: {exc}") from exc
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> str:
@@ -580,6 +664,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_run(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "figures":
         print(_cmd_figures(args))
     elif args.command == "analysis":

@@ -36,10 +36,15 @@ from pathlib import Path
 from repro.machine.rapl import CapWriteRejectedError
 from repro.openmp.runtime import OpenMPRuntime
 from repro.telemetry.bus import bus
+from repro.util.retry import RetryPolicy
 
 #: attempts per cap-change write before giving up on the event (the
 #: same bounded-retry discipline the runner uses for the initial cap).
 _CAP_EVENT_WRITE_ATTEMPTS = 3
+
+#: no sleeping: backing off happens in simulated time via
+#: ``settle_after_cap`` after every rejection.
+_CAP_EVENT_RETRY = RetryPolicy(attempts=_CAP_EVENT_WRITE_ATTEMPTS)
 
 
 class CapScheduleError(ValueError):
@@ -227,13 +232,14 @@ class CapScheduleApplier:
             # write, and no hysteresis clock restart either.
             self._applied_idx = target_idx
             return
-        for attempt in range(_CAP_EVENT_WRITE_ATTEMPTS):
-            try:
-                node.set_power_cap(target.cap_w)
-                break
-            except CapWriteRejectedError:
-                node.settle_after_cap()  # back off before retrying
-        else:
+        try:
+            _CAP_EVENT_RETRY.run(
+                lambda: node.set_power_cap(target.cap_w),
+                retry_on=CapWriteRejectedError,
+                site="cap.schedule_write",
+                on_failure=lambda _attempt, _exc: node.settle_after_cap(),
+            )
+        except CapWriteRejectedError:
             runtime.degradations.append(
                 f"cap schedule: change to {cap_label(target.cap_w)} at "
                 f"invocation {n} was rejected "

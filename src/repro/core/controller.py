@@ -14,6 +14,8 @@ Typical use (also see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.apex.instrument import ApexOmptBridge
 from repro.core.history import HistoryStore
 from repro.core.overhead import OverheadReport
@@ -21,6 +23,9 @@ from repro.core.policy import ArcsPolicy
 from repro.harmony.space import SearchSpace
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
+
+if TYPE_CHECKING:
+    from repro.service.source import ConfigKey, ConfigSource
 
 
 class ARCS:
@@ -41,12 +46,37 @@ class ARCS:
         objective: str = "time",
         seed: int = 0,
         batch: bool | None = None,
+        source: "ConfigSource | None" = None,
+        source_key: "ConfigKey | None" = None,
     ) -> None:
+        if source is not None and source_key is None:
+            raise ValueError("a config source needs a source_key")
         if replay:
             if history is None or history_key is None:
                 raise ValueError(
                     "replay mode needs a history store and key"
                 )
+            if (
+                source is not None
+                and source_key is not None
+                and not history.has(history_key)
+            ):
+                # replay with an empty local history: ask the chain
+                # (remote service -> warm memo) before giving up.  A
+                # chain miss or failure degrades to the usual
+                # HistoryKeyMissing from history.load below.
+                entry = source.lookup(source_key)
+                if entry is not None:
+                    configs_, values_ = entry
+                    history.save(
+                        history_key,
+                        configs_,
+                        {
+                            r: v
+                            for r, v in values_.items()
+                            if v is not None
+                        },
+                    )
             replay_configs: dict[str, OMPConfig] | None = history.load(
                 history_key
             )
@@ -55,6 +85,8 @@ class ARCS:
         self.runtime = runtime
         self.history = history
         self.history_key = history_key
+        self.source = source
+        self.source_key = source_key
         self.bridge = ApexOmptBridge(runtime)
         self.policy = ArcsPolicy(
             runtime,
@@ -90,7 +122,9 @@ class ARCS:
 
     def finalize(self) -> None:
         """Shut down APEX; persist best configurations if a history
-        store was provided (search modes only)."""
+        store was provided (search modes only), and publish them
+        through the config-source chain so other tenants of the
+        tuning service inherit this tuning."""
         if self._attached:
             self.detach()
         self.bridge.shutdown()
@@ -101,9 +135,12 @@ class ARCS:
         ):
             configs = self.policy.best_configs()
             if configs:
-                self.history.save(
-                    self.history_key, configs, self.policy.best_values()
-                )
+                values = self.policy.best_values()
+                self.history.save(self.history_key, configs, values)
+                if self.source is not None and self.source_key is not None:
+                    self.source.publish(
+                        self.source_key, (configs, dict(values))
+                    )
 
     # ------------------------------------------------------------------
     @property

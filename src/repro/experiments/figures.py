@@ -250,6 +250,7 @@ def power_sweep(
     executor: ParallelSweepExecutor | None = None,
     fault_plan: FaultPlan | None = None,
     telemetry_dir: str | None = None,
+    service: str | None = None,
 ) -> PowerSweep:
     """Run default / ARCS-Online / ARCS-Offline at each power level.
 
@@ -260,7 +261,11 @@ def power_sweep(
     reproduce the original strictly-serial in-process behaviour
     bit-for-bit.  ``telemetry_dir`` makes every cell write its own
     ``task-<run_id>.jsonl`` trace there (telemetry never changes what
-    is measured, only what is recorded).
+    is measured, only what is recorded).  ``service`` points offline
+    cells at a ``repro serve`` daemon (``host:port``): tuned configs
+    are fetched from / published to it through the degradation-ordered
+    ConfigSource chain, and - like telemetry - using it never changes
+    what is measured.
     """
     if executor is None:
         executor = ParallelSweepExecutor(
@@ -296,6 +301,7 @@ def power_sweep(
                     history_path=history_path,
                     fault_plan=fault_plan,
                     telemetry_dir=telemetry_dir,
+                    service=service,
                 )
             )
             labels.append(label)

@@ -77,6 +77,14 @@ def _is_fatal(exc: BaseException) -> bool:
     return isinstance(exc, _FATAL_TYPES)
 
 
+def _cause_name(exc: BaseException) -> str | None:
+    """Name of the chained ``__cause__`` (telemetry detail: a bare
+    ``RuntimeError`` wrapping a ``CapWriteRejectedError`` reads very
+    differently from one wrapping an ``OSError``)."""
+    cause = exc.__cause__
+    return None if cause is None else type(cause).__name__
+
+
 @dataclass(frozen=True)
 class SweepTask:
     """One self-contained sweep cell: everything a worker process
@@ -100,6 +108,13 @@ class SweepTask:
     #: telemetry off).  Deliberately *not* part of :meth:`setup`, so
     #: turning tracing on never invalidates cache/journal digests.
     telemetry_dir: str | None = None
+    #: ``host:port`` of a tuning-service daemon consulted (and
+    #: published to) by offline cells through the ConfigSource chain.
+    #: Like ``telemetry_dir``, deliberately *not* part of
+    #: :meth:`setup`: the service is a transparent knowledge cache, so
+    #: pointing a sweep at one must never invalidate existing
+    #: cache/journal digests (results are byte-identical either way).
+    service: str | None = None
 
     def setup(self) -> ExperimentSetup:
         return ExperimentSetup(
@@ -140,16 +155,37 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     per cell, whether the cell executes inline or in a worker process,
     so a sweep's trace files merge into one timeline regardless of how
     the work was scheduled.
+
+    With a ``service`` address, offline cells consult the tuning
+    daemon through a degradation-ordered :func:`~repro.service.source.
+    default_chain` (service -> process memo -> local history) before
+    tuning fresh, and publish what they tune.  The chain's client
+    draws the ``service.*`` fault sites from the task's fault plan
+    (salted separately from the runtime's injector), so network
+    failure modes are deterministic per cell.
     """
     history = None
-    if (
-        task.history_path is not None
-        and task.strategy.lower() in _OFFLINE_STRATEGIES
-    ):
-        history = HistoryStore(task.history_path)
+    source = None
+    if task.strategy.lower() in _OFFLINE_STRATEGIES:
+        if task.history_path is not None:
+            history = HistoryStore(task.history_path)
+        if task.service is not None:
+            from repro.faults.inject import make_injector
+            from repro.service.source import default_chain
+
+            source = default_chain(
+                task.service,
+                faults=make_injector(
+                    task.fault_plan, salt="service-client"
+                ),
+            )
     if task.telemetry_dir is None:
         return run_strategy(
-            task.strategy, task.app, task.setup(), history=history
+            task.strategy,
+            task.app,
+            task.setup(),
+            history=history,
+            source=source,
         )
     run_id = task_run_id(task)
     task_bus = TelemetryBus(enabled=True)
@@ -167,7 +203,11 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     previous = install(task_bus)
     try:
         return run_strategy(
-            task.strategy, task.app, task.setup(), history=history
+            task.strategy,
+            task.app,
+            task.setup(),
+            history=history,
+            source=source,
         )
     finally:
         install(previous)
@@ -466,6 +506,12 @@ class ParallelSweepExecutor:
             )
             try:
                 result = self._attempt_fn(task)(task)
+            except SweepTaskError:
+                # already classified and wrapped (a nested executor, or
+                # a task_fn that raised one directly): re-wrapping here
+                # would bury the original task/attempt/cause a level
+                # deeper, so pass it through untouched.
+                raise
             except Exception as exc:
                 if _is_fatal(exc):
                     raise SweepTaskError(
@@ -479,6 +525,7 @@ class ParallelSweepExecutor:
                     run_id=task.run_id(),
                     attempt=attempt,
                     error=type(exc).__name__,
+                    cause=_cause_name(exc),
                 )
             else:
                 self._record(task, result)
@@ -518,6 +565,9 @@ class ParallelSweepExecutor:
                 cursor += 1
                 try:
                     result = future.result(timeout=self.timeout_s)
+                except SweepTaskError:
+                    # see _run_inline: never double-wrap.
+                    raise
                 except Exception as exc:
                     if _is_fatal(exc):
                         raise SweepTaskError(
@@ -533,6 +583,7 @@ class ParallelSweepExecutor:
                         run_id=tasks[i].run_id(),
                         attempt=attempt,
                         error=type(exc).__name__,
+                        cause=_cause_name(exc),
                     )
                     inflight.append(
                         (

@@ -49,8 +49,10 @@ from repro.machine.rapl import CapWriteRejectedError
 from repro.machine.spec import MachineSpec
 from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
+from repro.service.source import ConfigSource, config_key
 from repro.supervise import RegionSupervisor, SuperviseConfig
 from repro.telemetry.bus import bus
+from repro.util.retry import RetryPolicy
 from repro.util.rng import derive_seed
 from repro.util.stats import summarize_runs
 from repro.workloads.base import (
@@ -164,6 +166,10 @@ class StrategyRunResult:
 #: attempts per power-cap write before degrading to an uncapped run.
 _CAP_WRITE_ATTEMPTS = 3
 
+#: shared retry schedule for cap writes: bounded attempts, no sleeping
+#: (backing off in simulated time is ``settle_after_cap``'s job).
+_CAP_WRITE_RETRY = RetryPolicy(attempts=_CAP_WRITE_ATTEMPTS)
+
 
 def fresh_runtime(
     setup: ExperimentSetup, run_index: int = 0
@@ -187,15 +193,16 @@ def fresh_runtime(
     )
     if setup.cap_w is not None:
         # ExperimentSetup guarantees the spec supports capping.
-        last: CapWriteRejectedError | None = None
-        for _ in range(_CAP_WRITE_ATTEMPTS):
-            try:
-                node.set_power_cap(setup.cap_w)
-                break
-            except CapWriteRejectedError as exc:
-                last = exc
-                node.settle_after_cap()  # back off before retrying
-        else:
+        try:
+            _CAP_WRITE_RETRY.run(
+                lambda: node.set_power_cap(setup.cap_w),
+                retry_on=CapWriteRejectedError,
+                site="cap.write",
+                # back off in simulated time after *every* rejection,
+                # matching the pre-RetryPolicy loop.
+                on_failure=lambda _attempt, _exc: node.settle_after_cap(),
+            )
+        except CapWriteRejectedError as last:
             runtime.degradations.append(
                 f"power cap {setup.cap_w:g} W could not be applied "
                 f"after {_CAP_WRITE_ATTEMPTS} attempts ({last}); "
@@ -546,18 +553,34 @@ def run_arcs_offline(
     setup: ExperimentSetup,
     history: HistoryStore | None = None,
     batch: bool | None = None,
+    source: ConfigSource | None = None,
 ) -> StrategyRunResult:
     """ARCS-Offline: exhaustive tuning run(s) produce a history file;
     the measured runs replay it.
 
     If ``history`` already holds configurations for this experiment
     key, tuning is skipped ("the saved values can be used instead of
-    repeating the search process").
+    repeating the search process").  With a ``source`` chain the same
+    skip extends across processes and machines: the chain is consulted
+    (remote tuning service, then warm memo, then whatever else it
+    holds) before tuning fresh, freshly tuned configurations are
+    published back through it, and every tier failure along the way is
+    surfaced as a degradation note - never an error.
     """
     history = history if history is not None else HistoryStore()
     key = experiment_key(
         app.name, setup.spec.name, setup.cap_w, app.workload
     )
+    source_key = config_key(app, setup) if source is not None else None
+    if source is not None and not history.has(key):
+        entry = source.lookup(source_key)
+        if entry is not None:
+            configs_, values_ = entry
+            history.save(
+                key,
+                configs_,
+                {r: v for r, v in values_.items() if v is not None},
+            )
     tuning_runs = 0
     fallbacks: dict[str, str] = {}
     if not history.has(key):
@@ -569,6 +592,8 @@ def run_arcs_offline(
             history_key=key,
             seed=derive_seed(setup.seed, "offline-tuning"),
             batch=batch,
+            source=source,
+            source_key=source_key,
         )
         arcs.attach()
         while tuning_runs < MAX_TUNING_RUNS:
@@ -618,6 +643,7 @@ def run_arcs_offline(
         if applier is not None:
             cap_changes = list(applier.log)
         arcs.finalize()
+    source_notes = source.drain_notes() if source is not None else []
     time_s, energy_j = _summarize(setup, results)
     return StrategyRunResult(
         strategy="arcs-offline",
@@ -630,7 +656,9 @@ def run_arcs_offline(
         chosen_configs=history.load(key),
         overhead=overhead,
         tuning_runs=tuning_runs,
-        degradations=_collect_degradations(results, fallbacks),
+        degradations=_collect_degradations(
+            results, fallbacks, source_notes
+        ),
         cap_changes=tuple(cap_changes),
     )
 
@@ -645,8 +673,14 @@ def run_strategy(
     resume_from: str | Path | None = None,
     supervise: SuperviseConfig | None = None,
     batch: bool | None = None,
+    source: ConfigSource | None = None,
 ) -> StrategyRunResult:
-    """Dispatch by strategy name: default / arcs-online / arcs-offline."""
+    """Dispatch by strategy name: default / arcs-online / arcs-offline.
+
+    ``source`` (a :class:`ConfigSource` chain) only affects
+    arcs-offline - the strategies that do not consume tuned knowledge
+    ignore it, so a sweep can pass one chain uniformly.
+    """
     key = name.lower()
     if key in ("arcs-online", "online"):
         return run_arcs_online(
@@ -665,7 +699,9 @@ def run_strategy(
     if key == "default":
         return run_default(app, setup)
     if key in ("arcs-offline", "offline"):
-        return run_arcs_offline(app, setup, history=history, batch=batch)
+        return run_arcs_offline(
+            app, setup, history=history, batch=batch, source=source
+        )
     raise ValueError(
         f"unknown strategy {name!r}; known: default, arcs-online, "
         "arcs-offline"

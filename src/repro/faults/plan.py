@@ -22,7 +22,21 @@ site                      actions
 ``measure.noise``         ``spike``
 ``sweep.worker``          ``crash`` / ``hang``
 ``region.exec``           ``crash`` / ``hang``
+``service.connect``       ``refused``
+``service.response``      ``hang`` / ``slow``
+``service.payload``       ``torn`` / ``corrupt``
+``service.server``        ``crash``
 ========================  =======================================
+
+The ``service.*`` sites model the network between a tuning-service
+client and the ``repro serve`` daemon (:mod:`repro.service`):
+connection refused, a response that hangs past the client deadline (or
+is merely ``slow`` by ``magnitude`` seconds), a payload torn mid-byte
+or bit-flipped into invalid JSON, and the server dying halfway through
+writing a response.  They are consulted by the client transport and
+the daemon writer, and every one of them must degrade the client to
+the next :class:`~repro.service.source.ConfigSource` tier, never to an
+error.
 
 ``region.exec`` faults fire *inside* a run, at individual region
 executions, and are handled by the watchdog layer in
@@ -51,6 +65,10 @@ FAULT_SITES: dict[str, tuple[str, ...]] = {
     "measure.noise": ("spike",),
     "sweep.worker": ("crash", "hang"),
     "region.exec": ("crash", "hang"),
+    "service.connect": ("refused",),
+    "service.response": ("hang", "slow"),
+    "service.payload": ("torn", "corrupt"),
+    "service.server": ("crash",),
 }
 
 #: default spike factor for ``measure.noise``: a timer glitch on a

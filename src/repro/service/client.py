@@ -1,0 +1,340 @@
+"""The blocking service client: deadlines, retries, circuit breaker.
+
+This is the robustness headline of the service layer.  Every request:
+
+* carries a hard **deadline** (socket timeout on connect and read);
+* is retried under a seeded :class:`~repro.util.retry.RetryPolicy`
+  (jittered exponential backoff, deterministic under the repro seed);
+* flows through the client-side **fault sites** - ``service.connect``
+  (refused), ``service.response`` (hang past deadline / slow),
+  ``service.payload`` (torn / bit-flipped bytes) - so every network
+  failure mode is reproducible from a fault plan without a hostile
+  network;
+* classifies failures into :class:`ServiceUnavailable` /
+  :class:`ServiceTimeout` / :class:`ServiceProtocolError`, all of them
+  :class:`ServiceError` - the one type the
+  :class:`~repro.service.source.ServiceSource` tier catches to degrade
+  to the next :class:`ConfigSource` instead of erroring.
+
+The :class:`CircuitBreaker` stops a dead daemon from charging every
+lookup the full deadline x retries cost: after ``failure_threshold``
+consecutive failures the breaker opens and lookups fail fast
+(no network at all); after ``probe_interval`` short-circuited calls
+it half-opens and lets exactly one probe through - success closes it,
+failure re-opens it.  The schedule counts *requests*, not wall-clock,
+so breaker behaviour is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.faults.inject import FaultInjector
+from repro.service import protocol
+from repro.telemetry.bus import bus
+from repro.util.retry import RetryPolicy
+
+#: default per-request deadline.
+DEFAULT_DEADLINE_S = 2.0
+
+#: default network retry policy: 3 total attempts, 25 ms base backoff
+#: doubling to at most 250 ms, up to 50% seeded jitter.
+DEFAULT_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay_s=0.025,
+    multiplier=2.0,
+    max_delay_s=0.25,
+    jitter=0.5,
+)
+
+
+class ServiceError(RuntimeError):
+    """Base for every client-side service failure (the type a
+    :class:`ConfigSource` tier catches to fall back)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Could not connect (refused / reset / unreachable)."""
+
+
+class ServiceTimeout(ServiceError):
+    """The per-request deadline elapsed before a full response."""
+
+
+class ServiceProtocolError(ServiceError):
+    """The response was torn, corrupt, or spoke a foreign schema."""
+
+
+class ServiceRequestFailed(ServiceError):
+    """The daemon answered with ``ok: false``."""
+
+
+@dataclass
+class CircuitBreaker:
+    """Request-count-based breaker: open fails fast, half-open probes.
+
+    States: ``closed`` (normal), ``open`` (fail fast without touching
+    the network), ``half_open`` (one probe in flight).  Transitions
+    are driven purely by call counts, so behaviour is deterministic.
+    """
+
+    failure_threshold: int = 3
+    probe_interval: int = 8
+    state: str = "closed"
+    consecutive_failures: int = 0
+    skipped: int = 0
+    opens: int = 0
+
+    def allow(self) -> bool:
+        """May the next request touch the network?  While open, counts
+        the short-circuited call; every ``probe_interval``-th call
+        half-opens and is let through as the probe."""
+        if self.state == "closed":
+            return True
+        if self.state == "half_open":
+            return True
+        self.skipped += 1
+        if self.skipped >= self.probe_interval:
+            self.state = "half_open"
+            self.skipped = 0
+            tb = bus()
+            if tb.enabled:
+                tb.emit("service.breaker", state="half_open")
+            return True
+        return False
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            tb = bus()
+            if tb.enabled:
+                tb.emit("service.breaker", state="closed")
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.skipped = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        tripped = (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if tripped and self.state != "open":
+            self.state = "open"
+            self.skipped = 0
+            self.opens += 1
+            tb = bus()
+            if tb.enabled:
+                tb.count("service.breaker_opens")
+                tb.emit("service.breaker", state="open")
+
+
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """Accept ``(host, port)`` or ``"host:port"``."""
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"service address must be host:port, got {address!r}"
+        )
+    return host, int(port)
+
+
+class ServiceClient:
+    """Blocking newline-JSON client for one daemon address."""
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        faults: FaultInjector | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        self.address = parse_address(address)
+        self.deadline_s = deadline_s
+        self.retry = retry
+        self.faults = faults
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # high-level ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request(protocol.request("ping"))
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on a clean
+        miss.  Raises a :class:`ServiceError` subclass on failure."""
+        response = self.request(protocol.request("get", key=key))
+        if not response.get("hit"):
+            return None
+        payload = response.get("payload")
+        if not isinstance(payload, dict):
+            raise ServiceProtocolError(
+                "get response marked hit but carried no payload"
+            )
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        self.request(
+            protocol.request("put", key=key, payload=payload)
+        )
+
+    def stats(self) -> dict:
+        return self.request(protocol.request("stats"))
+
+    def shutdown(self) -> None:
+        self.request(protocol.request("shutdown"))
+
+    # ------------------------------------------------------------------
+    # request machinery
+    # ------------------------------------------------------------------
+    def request(self, message: dict) -> dict:
+        """Send one request with deadline + retry; returns the
+        validated ``ok`` response."""
+        data = protocol.encode(message)
+        op = str(message.get("op", "?"))
+        tb = bus()
+        if tb.enabled:
+            tb.count(f"service.client.{op}")
+        # ServiceRequestFailed is deliberately NOT retried: the daemon
+        # answered coherently, so the same frame would fail again.
+        return self.retry.run(
+            lambda: self._attempt(data),
+            retry_on=(
+                ServiceUnavailable,
+                ServiceTimeout,
+                ServiceProtocolError,
+            ),
+            site=f"service.{op}",
+            salt=("service", op),
+            sleep=self._sleep,
+        )
+
+    def _attempt(self, data: bytes) -> dict:
+        raw = self._exchange(data)
+        raw = self._mangle_payload(raw)
+        try:
+            response = protocol.validate_response(
+                protocol.decode(raw)
+            )
+        except protocol.ProtocolError as exc:
+            raise ServiceProtocolError(str(exc)) from exc
+        if not response.get("ok"):
+            # the daemon answered coherently but negatively; retrying
+            # the same frame cannot help, so fail without the backoff
+            # dance - the source tier treats it like any ServiceError.
+            raise ServiceRequestFailed(
+                str(response.get("error", "request failed"))
+            )
+        return response
+
+    def _exchange(self, data: bytes) -> bytes:
+        """One connect/send/read cycle under the deadline, with the
+        client-side fault sites applied in order."""
+        faults = self.faults
+        if faults is not None:
+            spec = faults.draw("service.connect")
+            if spec is not None:
+                raise ServiceUnavailable(
+                    f"injected connection refused to "
+                    f"{self.address[0]}:{self.address[1]}"
+                )
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.deadline_s
+            )
+        except socket.timeout as exc:
+            raise ServiceTimeout(
+                f"connect to {self.address[0]}:{self.address[1]} "
+                f"exceeded the {self.deadline_s:g}s deadline"
+            ) from exc
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to "
+                f"{self.address[0]}:{self.address[1]}: {exc}"
+            ) from exc
+        with sock:
+            deadline = time.monotonic() + self.deadline_s
+            try:
+                sock.sendall(data)
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    f"send failed: {exc}"
+                ) from exc
+            if faults is not None:
+                spec = faults.draw("service.response")
+                if spec is not None:
+                    if spec.action == "hang":
+                        # the server never answers: the deadline is
+                        # charged logically, not slept, so fault tests
+                        # stay fast.
+                        raise ServiceTimeout(
+                            f"injected response hang exceeded the "
+                            f"{self.deadline_s:g}s deadline"
+                        )
+                    self._sleep(min(spec.magnitude or 0.01, 0.05))
+            return self._read_line(sock, deadline)
+
+    def _read_line(self, sock: socket.socket, deadline: float) -> bytes:
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceTimeout(
+                    f"response exceeded the {self.deadline_s:g}s "
+                    "deadline"
+                )
+            sock.settimeout(remaining)
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout as exc:
+                raise ServiceTimeout(
+                    f"response exceeded the {self.deadline_s:g}s "
+                    "deadline"
+                ) from exc
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    f"connection lost mid-response: {exc}"
+                ) from exc
+            if not chunk:
+                # server closed before the terminating newline - the
+                # mid-write-crash signature; the partial frame is a
+                # protocol error, distinct from a clean miss.
+                raise ServiceProtocolError(
+                    "connection closed mid-response "
+                    f"({total} byte(s) received, no frame terminator)"
+                )
+            chunks.append(chunk)
+            total += len(chunk)
+            if total > protocol.MAX_LINE_BYTES:
+                raise ServiceProtocolError(
+                    "response exceeded the frame size limit"
+                )
+            if chunk.endswith(b"\n") or b"\n" in chunk:
+                return b"".join(chunks)
+
+    def _mangle_payload(self, raw: bytes) -> bytes:
+        """Apply the ``service.payload`` fault site to received bytes:
+        ``torn`` truncates mid-frame, ``corrupt`` flips a byte into
+        JSON garbage."""
+        if self.faults is None:
+            return raw
+        spec = self.faults.draw("service.payload")
+        if spec is None:
+            return raw
+        if spec.action == "torn":
+            return raw[: max(1, len(raw) // 2)]
+        # corrupt: flip a mid-frame byte; 0xFF is invalid inside any
+        # UTF-8 JSON document, so the decode reliably fails.
+        mid = len(raw) // 2
+        return raw[:mid] + b"\xff" + raw[mid + 1 :]

@@ -1,0 +1,147 @@
+"""One seeded, telemetry-visible retry/backoff policy for every loop.
+
+Before this module the repo had three hand-rolled retry loops - the
+runner's power-cap write, the cap-schedule event write, and the
+harness's wraparound-safe energy read - each a bare ``for`` with its
+own hardcoded attempt count and no visibility.  The tuning service
+client adds a fourth (network requests), which finally wants real
+backoff.  :class:`RetryPolicy` is the single implementation all of
+them share:
+
+* attempts are bounded and validated;
+* delays follow jittered exponential backoff, where the jitter is
+  drawn from the repro seed (:func:`repro.util.rng.rng_for`), so a
+  retried run replays the exact same delay schedule - network retries
+  stay inside the determinism contract every robustness test leans on;
+* every failed attempt is emitted as a ``retry.attempt`` telemetry
+  event (when the bus is enabled), so ``repro trace`` shows retry
+  storms instead of hiding them.
+
+The pre-existing loops keep their exact behaviour: they use
+``base_delay_s=0`` (no sleeping - backoff in simulated-time components
+is the node clock's job) and the same attempt counts as before.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.telemetry.bus import bus
+from repro.util.rng import rng_for
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, seeded, jittered-exponential retry schedule.
+
+    ``attempts`` counts *total* calls (first try included).  Delay
+    before retry ``n`` (1-based, after the ``n``-th failure) is
+    ``min(base_delay_s * multiplier**(n-1), max_delay_s)``, shrunk by
+    up to ``jitter`` fraction drawn deterministically from ``seed``
+    (jitter only ever shortens the wait, so the deterministic delay is
+    also the worst case).  ``base_delay_s=0`` disables sleeping
+    entirely - the mode every simulated-time retry loop uses.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.0
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay_s < 0:
+            raise ValueError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be >= 0, got {self.max_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    # ------------------------------------------------------------------
+    def delay_s(self, failure: int, *salt: object) -> float:
+        """Backoff before the retry following failure ``failure``
+        (1-based).  Deterministic given (seed, salt, failure)."""
+        if self.base_delay_s <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay_s * self.multiplier ** (failure - 1),
+            self.max_delay_s,
+        )
+        if self.jitter > 0.0:
+            frac = rng_for(
+                self.seed, "retry", *salt, failure
+            ).random()
+            delay *= 1.0 - self.jitter * frac
+        return delay
+
+    def delays(self, *salt: object) -> Iterator[float]:
+        """The full backoff schedule (``attempts - 1`` delays)."""
+        for failure in range(1, self.attempts):
+            yield self.delay_s(failure, *salt)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[], T],
+        *,
+        retry_on: type[BaseException] | tuple[type[BaseException], ...],
+        site: str = "retry",
+        salt: tuple[object, ...] = (),
+        sleep: Callable[[float], None] = time.sleep,
+        on_failure: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Call ``fn`` up to ``attempts`` times.
+
+        Exceptions matching ``retry_on`` are caught, reported to
+        telemetry as ``retry.attempt`` events (``site`` names the
+        caller) and to ``on_failure(attempt, exc)`` - which runs after
+        *every* failure including the last, so callers can back off in
+        simulated time (e.g. ``settle_after_cap``) regardless of
+        whether another attempt follows.  When all attempts fail the
+        last exception is re-raised; callers that degrade instead of
+        failing catch it.  Any other exception propagates immediately.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                tb = bus()
+                if tb.enabled:
+                    tb.count("retry.failures")
+                    tb.emit(
+                        "retry.attempt",
+                        site=site,
+                        attempt=attempt,
+                        attempts=self.attempts,
+                        error=type(exc).__name__,
+                    )
+                if on_failure is not None:
+                    on_failure(attempt, exc)
+                if attempt < self.attempts:
+                    delay = self.delay_s(attempt, *salt)
+                    if delay > 0.0:
+                        sleep(delay)
+        assert last is not None
+        raise last

@@ -16,6 +16,7 @@ from repro.machine.rapl import RaplReadError
 from repro.openmp.records import RegionExecutionRecord, RegionTotals
 from repro.openmp.region import RegionProfile
 from repro.openmp.runtime import OpenMPRuntime
+from repro.util.retry import RetryPolicy
 from repro.util.validation import require_positive
 
 
@@ -179,6 +180,10 @@ class AppRunResult:
 #: attempts per RAPL energy read before degrading to time-only.
 _ENERGY_READ_ATTEMPTS = 3
 
+#: shared bounded-retry schedule (no sleeping - RAPL reads are
+#: instantaneous in simulated time).
+_ENERGY_READ_RETRY = RetryPolicy(attempts=_ENERGY_READ_ATTEMPTS)
+
 
 def _read_energy(
     node, notes: list[str], when: str
@@ -187,17 +192,19 @@ def _read_energy(
     :class:`RaplReadError`; ``None`` (with a note) when reads stay
     broken - the run then reports time only rather than crashing or
     publishing garbage energy."""
-    last: RaplReadError | None = None
-    for _ in range(_ENERGY_READ_ATTEMPTS):
-        try:
-            return node.read_package_energy_j()
-        except RaplReadError as exc:
-            last = exc
-    notes.append(
-        f"energy read at run {when} failed "
-        f"{_ENERGY_READ_ATTEMPTS} times ({last}); energy not reported"
-    )
-    return None
+    try:
+        return _ENERGY_READ_RETRY.run(
+            node.read_package_energy_j,
+            retry_on=RaplReadError,
+            site="energy.read",
+        )
+    except RaplReadError as last:
+        notes.append(
+            f"energy read at run {when} failed "
+            f"{_ENERGY_READ_ATTEMPTS} times ({last}); "
+            "energy not reported"
+        )
+        return None
 
 
 def run_application(

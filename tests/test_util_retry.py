@@ -1,0 +1,178 @@
+"""Tests for the shared seeded retry/backoff policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.bus import TelemetryBus, install
+from repro.util.retry import RetryPolicy
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value: str = "ok") -> None:
+        self.failures = failures
+        self.value = value
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"boom #{self.calls}")
+        return self.value
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+    def test_rejects_negative_base_delay(self):
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_rejects_submultiplicative_backoff(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDelays:
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.0)
+        assert list(policy.delays()) == [0.0] * 4
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.3
+        )
+        assert list(policy.delays()) == pytest.approx(
+            [0.1, 0.2, 0.3, 0.3]
+        )
+
+    def test_jitter_only_shortens(self):
+        policy = RetryPolicy(
+            attempts=4,
+            base_delay_s=0.1,
+            multiplier=2.0,
+            max_delay_s=1.0,
+            jitter=0.5,
+            seed=11,
+        )
+        plain = RetryPolicy(
+            attempts=4, base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0
+        )
+        for jittered, upper in zip(policy.delays(), plain.delays()):
+            assert 0.0 < jittered <= upper
+            assert jittered >= upper * 0.5  # jitter=0.5 floor
+
+    def test_jitter_is_seed_deterministic(self):
+        a = RetryPolicy(attempts=4, base_delay_s=0.1, jitter=0.9, seed=3)
+        b = RetryPolicy(attempts=4, base_delay_s=0.1, jitter=0.9, seed=3)
+        c = RetryPolicy(attempts=4, base_delay_s=0.1, jitter=0.9, seed=4)
+        assert list(a.delays()) == list(b.delays())
+        assert list(a.delays()) != list(c.delays())
+
+    def test_salt_varies_the_schedule(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay_s=0.1, jitter=0.9, seed=3
+        )
+        assert list(policy.delays("a")) != list(policy.delays("b"))
+
+
+class TestRun:
+    def test_returns_first_success(self):
+        fn = Flaky(0)
+        assert RetryPolicy(attempts=3).run(fn, retry_on=RuntimeError) == "ok"
+        assert fn.calls == 1
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        assert RetryPolicy(attempts=3).run(fn, retry_on=RuntimeError) == "ok"
+        assert fn.calls == 3
+
+    def test_reraises_last_after_exhaustion(self):
+        fn = Flaky(5)
+        with pytest.raises(RuntimeError, match="boom #3"):
+            RetryPolicy(attempts=3).run(fn, retry_on=RuntimeError)
+        assert fn.calls == 3
+
+    def test_foreign_exceptions_propagate_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KeyError("not retryable here")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(attempts=3).run(fn, retry_on=RuntimeError)
+        assert len(calls) == 1
+
+    def test_on_failure_runs_after_every_failure_including_last(self):
+        seen = []
+        fn = Flaky(5)
+        with pytest.raises(RuntimeError):
+            RetryPolicy(attempts=3).run(
+                fn,
+                retry_on=RuntimeError,
+                on_failure=lambda attempt, exc: seen.append(
+                    (attempt, str(exc))
+                ),
+            )
+        assert seen == [
+            (1, "boom #1"),
+            (2, "boom #2"),
+            (3, "boom #3"),
+        ]
+
+    def test_sleeps_the_computed_backoff(self):
+        slept = []
+        fn = Flaky(2)
+        policy = RetryPolicy(
+            attempts=3, base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0
+        )
+        policy.run(fn, retry_on=RuntimeError, sleep=slept.append)
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_no_sleep_after_final_failure(self):
+        slept = []
+        fn = Flaky(9)
+        with pytest.raises(RuntimeError):
+            RetryPolicy(attempts=3, base_delay_s=0.1).run(
+                fn, retry_on=RuntimeError, sleep=slept.append
+            )
+        assert len(slept) == 2  # attempts - 1
+
+    def test_emits_retry_telemetry(self):
+        bus_ = TelemetryBus(enabled=True)
+        records: list[dict] = []
+        bus_.add_sink(
+            type(
+                "S",
+                (),
+                {
+                    "write": lambda self, r: records.append(r),
+                    "flush": lambda self: None,
+                    "close": lambda self: None,
+                },
+            )()
+        )
+        previous = install(bus_)
+        try:
+            fn = Flaky(2)
+            RetryPolicy(attempts=3).run(
+                fn, retry_on=RuntimeError, site="unit.test"
+            )
+        finally:
+            install(previous)
+        attempts = [
+            r for r in records if r.get("name") == "retry.attempt"
+        ]
+        assert len(attempts) == 2
+        assert attempts[0]["attrs"]["site"] == "unit.test"
+        assert attempts[0]["attrs"]["attempt"] == 1
+        assert attempts[0]["attrs"]["error"] == "RuntimeError"

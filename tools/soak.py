@@ -14,19 +14,32 @@ checkpoint.  The soak asserts, per kill point:
   best matches the minimum of the objective values it was told (the
   best can only improve as measurements accumulate).
 
+With ``--service`` the soak instead exercises the tuning-service
+degradation chain: each iteration boots a real daemon, runs a
+sequence of ARCS-Offline clients against it, and randomly kills and
+restarts the daemon between AND during client runs (the restarted
+daemon rebinds the same port).  Every client must produce a result
+byte-identical to a service-less baseline modulo the ``config source``
+degradation notes and ``tuning_runs``; the run with the daemon down
+must record a fallback note, and the final run against the restarted
+daemon must be served from its recovered store (no tuning).
+
 Exit code 0 = pass, 1 = fail.
 
 Usage::
 
     PYTHONPATH=src python tools/soak.py --iterations 3 --seed 0
+    PYTHONPATH=src python tools/soak.py --service --iterations 3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import random
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -36,9 +49,15 @@ from repro.experiments.resumable import (
     SimulatedKill,
     load_run_checkpoint,
 )
-from repro.experiments.runner import ExperimentSetup, run_arcs_online
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_arcs_online,
+)
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.machine.spec import crill
+from repro.service.daemon import ThreadedDaemon
+from repro.service.source import default_chain
 from repro.util.log import configure, get_logger
 from repro.workloads.synthetic import synthetic_application
 
@@ -231,6 +250,109 @@ def _iteration(
     return len(kills)
 
 
+_NOTE_PREFIX = "config source "
+
+
+def _canonical_modulo_service(result) -> str:
+    """Full-fidelity JSON with service degradation notes stripped and
+    ``tuning_runs`` dropped (a service hit legitimately skips tuning;
+    everything measured must still match)."""
+    blob = result_to_json(result)
+    blob["degradations"] = [
+        d
+        for d in blob["degradations"]
+        if not d.startswith(_NOTE_PREFIX)
+    ]
+    blob.pop("tuning_runs")
+    return json.dumps(blob, sort_keys=True)
+
+
+def _service_notes(result) -> list[str]:
+    return [
+        d
+        for d in result.degradations
+        if d.startswith(_NOTE_PREFIX)
+    ]
+
+
+def _service_iteration(iteration: int, seed: int, tmp: Path) -> int:
+    """One service-chain soak iteration; returns the client-run count.
+
+    Cell 0 always runs with the daemon up (so the tuned entry is
+    published), cell 1 always with the daemon down (pure fallback),
+    the middle cells transition randomly - sometimes killing the
+    daemon mid-run from a timer thread - and the final cell runs
+    against a restarted daemon, which must serve the entry from its
+    recovered store."""
+    rng = random.Random((seed << 16) ^ (0x5E41C ^ 0) ^ iteration)
+    app = synthetic_application(timesteps=rng.choice((10, 20)))
+    setup = ExperimentSetup(
+        spec=crill(),
+        cap_w=rng.choice((55.0, 70.0, 85.0)),
+        repeats=rng.choice((1, 2)),
+        seed=rng.randint(0, 2**31),
+    )
+    baseline = run_arcs_offline(app, setup)
+    expected = _canonical_modulo_service(baseline)
+
+    daemon = ThreadedDaemon(tmp / f"svc-{iteration}")
+    daemon.start()
+    address = f"{daemon.address[0]}:{daemon.address[1]}"
+    cells = rng.randint(4, 6)
+    fallback_cells = 0
+    try:
+        for cell in range(cells):
+            last = cell == cells - 1
+            if cell == 1 and daemon.running:
+                daemon.stop()            # forced outage
+            elif cell >= 2 and not daemon.running:
+                if last or rng.random() < 0.7:
+                    daemon.start()       # recovery (same port)
+            elif cell >= 2 and daemon.running and rng.random() < 0.4:
+                daemon.stop()
+            killer = None
+            if daemon.running and 2 <= cell < cells - 1:
+                if rng.random() < 0.5:
+                    # kill the daemon WHILE the client is running
+                    killer = threading.Timer(
+                        rng.uniform(0.0, 0.05), daemon.stop
+                    )
+                    killer.start()
+            chain = default_chain(address, memo={}, deadline_s=0.5)
+            result = run_arcs_offline(app, setup, source=chain)
+            if killer is not None:
+                killer.join()
+            got = _canonical_modulo_service(result)
+            if got != expected:
+                raise AssertionError(
+                    f"iter {iteration} cell {cell}: client diverged "
+                    "from the service-less baseline (daemon "
+                    f"{'up' if daemon.running else 'down'})"
+                )
+            notes = _service_notes(result)
+            fallback_cells += bool(notes)
+            if cell == 1 and not notes:
+                raise AssertionError(
+                    f"iter {iteration} cell 1: daemon was down but "
+                    "the client recorded no fallback note"
+                )
+            if last and result.tuning_runs != 0:
+                raise AssertionError(
+                    f"iter {iteration} final cell: restarted daemon "
+                    "did not serve the recovered entry "
+                    f"(tuning_runs={result.tuning_runs})"
+                )
+    finally:
+        daemon.stop()
+    log.info(
+        "service soak iteration OK",
+        iteration=iteration,
+        cells=cells,
+        fallback_cells=fallback_cells,
+    )
+    return cells
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0]
@@ -240,6 +362,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kill-points", type=int, default=7,
         help="random kill/resume points tested per iteration",
+    )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="soak the tuning-service degradation chain instead: "
+        "kill/restart a real daemon around and during client runs",
     )
     parser.add_argument(
         "--log-level", default=None,
@@ -254,9 +381,17 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with tempfile.TemporaryDirectory() as tmp:
             for iteration in range(args.iterations):
-                tested += _iteration(
-                    iteration, args.seed, args.kill_points, Path(tmp)
-                )
+                if args.service:
+                    tested += _service_iteration(
+                        iteration, args.seed, Path(tmp)
+                    )
+                else:
+                    tested += _iteration(
+                        iteration,
+                        args.seed,
+                        args.kill_points,
+                        Path(tmp),
+                    )
     except AssertionError as exc:
         log.error("soak FAIL", reason=str(exc))
         return 1
