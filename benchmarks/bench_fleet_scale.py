@@ -1,0 +1,87 @@
+"""Fleet-at-scale benchmark: 64 ARCS nodes under one global budget.
+
+Runs the full fault-tolerant fleet simulation - hierarchical budget
+allocation, failure detection, journaled state - over a synthesized
+64-node mixed Crill/Minotaur fleet with the hostile fleet-tier fault
+plan armed (``examples/fleetfaults.json``).  The throughput numbers
+(nodes/sec, wall time) are machine-dependent and marked ``info``; the
+simulation itself is deterministic, so the robustness metrics -
+survival rate, allocator reaction latency to a declared death, step
+count - are exact and regression-gated by ``repro analysis compare``.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis.records import fleet_survival_records
+from repro.faults.plan import load_fault_plan
+from repro.fleet import (
+    FleetSimulation,
+    fleet_result_to_json,
+    render_fleet,
+    synthesize_fleet,
+)
+
+_REPO = Path(__file__).resolve().parent.parent
+
+#: the scale floor this benchmark exists to prove.
+N_NODES = 64
+
+
+def run():
+    plan = synthesize_fleet(N_NODES, seed=0, max_steps=120)
+    faults = load_fault_plan(_REPO / "examples" / "fleetfaults.json")
+    t0 = time.perf_counter()
+    result = FleetSimulation(plan, faults).run()
+    return result, time.perf_counter() - t0
+
+
+def test_fleet_scale(benchmark, save_result):
+    result, wall_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.started == N_NODES
+    latencies = [lat for _node, lat in result.reaction_latencies]
+    mean_latency = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    metrics = {
+        "nodes_per_sec": {
+            "value": N_NODES / wall_s if wall_s > 0 else 0.0,
+            "direction": "info",
+            "unit": "nodes/s",
+        },
+        "wall_s": {
+            "value": wall_s, "direction": "info", "unit": "s",
+        },
+        "survival_rate": {
+            "value": result.survival_rate, "direction": "higher",
+        },
+        "completion_rate": {
+            "value": result.completion_rate, "direction": "higher",
+        },
+        "reaction_latency_steps": {
+            "value": mean_latency,
+            "direction": "lower",
+            "unit": "steps",
+        },
+        "steps": {"value": result.steps, "direction": "lower",
+                  "unit": "steps"},
+        "peak_budget_w": {
+            "value": result.peak_budget_w,
+            "direction": "info",
+            "unit": "W",
+        },
+    }
+    save_result(
+        "fleet_scale",
+        render_fleet(result),
+        metrics=metrics,
+        records=fleet_survival_records(fleet_result_to_json(result)),
+        machine="fleet",
+        seed=0,
+        config={
+            "nodes": N_NODES,
+            "global_cap_w": result.global_cap_w,
+            "faults": "examples/fleetfaults.json",
+            "max_steps": 120,
+        },
+    )

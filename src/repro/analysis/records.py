@@ -11,6 +11,7 @@ converters below build them from each of the repo's result sources:
 * summarized :class:`~repro.experiments.runner.StrategyRunResult`\\ s
   (and therefore the result cache),
 * crash-safe sweep journals (:mod:`repro.experiments.journal`),
+* fleet journals / fleet results (:mod:`repro.fleet`),
 * telemetry JSONL directories (:mod:`repro.telemetry`).
 
 Cell values are restricted to ``str | int | float | bool | None`` so a
@@ -231,6 +232,103 @@ def journal_records(path: str | Path) -> list[Record]:
         row: Record = {"digest": digest}
         row.update(result_record(completed[digest]))
         rows.append(row)
+    return rows
+
+
+def fleet_survival_records(source) -> list[Record]:
+    """Survival-rate table for one fleet run.
+
+    ``source`` is either a fleet journal path (the last snapshot is
+    the authority - exactly what ``repro fleet run --resume`` would
+    restore) or a :func:`repro.fleet.fleet_result_to_json` mapping.
+    One row per degradation kind observed in the run - how often it
+    fired, which nodes it hit, how many of those nodes nonetheless
+    survived - plus a trailing ``fleet`` row carrying the run-level
+    survival rate over every started node.
+    """
+    from repro.fleet.events import DEGRADATION_KINDS, FleetEvent
+
+    if isinstance(source, (str, Path)):
+        from repro.fleet.journal import FleetJournal
+
+        loaded = FleetJournal(source).load_last_snapshot()
+        if loaded is None:
+            return []
+        _step, state = loaded
+        statuses = {
+            str(node_id): str(cell["status"])
+            for node_id, cell in state["cells"].items()
+        }
+        events = [FleetEvent.from_json(b) for b in state["events"]]
+    else:
+        statuses = {
+            str(n["node"]): str(n["status"]) for n in source["nodes"]
+        }
+        events = [FleetEvent.from_json(b) for b in source["events"]]
+
+    started = [n for n, s in statuses.items() if s != "pending"]
+    crashed = [n for n, s in statuses.items() if s == "crashed"]
+    rows: list[Record] = []
+    for kind in sorted(
+        {e.kind for e in events if e.kind in DEGRADATION_KINDS}
+    ):
+        hits = [e for e in events if e.kind == kind]
+        affected = sorted({e.node for e in hits if e.node})
+        survived = [
+            n for n in affected if statuses.get(n) != "crashed"
+        ]
+        rows.append(
+            {
+                "kind": kind,
+                "events": len(hits),
+                "nodes_affected": len(affected),
+                "nodes_survived": len(survived),
+                "survival_rate": (
+                    len(survived) / len(affected) if affected else 1.0
+                ),
+            }
+        )
+    rows.append(
+        {
+            "kind": "fleet",
+            "events": sum(1 for e in events if e.degradation),
+            "nodes_affected": len(started),
+            "nodes_survived": len(started) - len(crashed),
+            "survival_rate": (
+                (len(started) - len(crashed)) / len(started)
+                if started
+                else 1.0
+            ),
+        }
+    )
+    return rows
+
+
+def capsched_timeline_records(directory: str | Path) -> list[Record]:
+    """Cap-schedule adaptation timeline from a telemetry directory.
+
+    One row per ``cap.change`` / ``cap.change_rejected`` event across
+    every stream, in emission order: at which region invocation the
+    schedule moved (or tried to move) the cap, between which levels,
+    and whether the write survived the applier's retry policy
+    (``applied``).
+    """
+    rows: list[Record] = []
+    for row in telemetry_records(directory):
+        name = row.get("name")
+        if name not in ("cap.change", "cap.change_rejected"):
+            continue
+        rows.append(
+            {
+                "stream": row["stream"],
+                "seq": row.get("seq"),
+                "invocation": row.get("attrs.invocation"),
+                "cap_from": row.get("attrs.cap_from"),
+                "cap_to": row.get("attrs.cap_to"),
+                "applied": name == "cap.change",
+            }
+        )
+    rows.sort(key=lambda r: (r["stream"], r["seq"] or 0))
     return rows
 
 

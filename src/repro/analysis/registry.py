@@ -20,9 +20,11 @@ from pathlib import Path
 
 from repro.analysis.records import (
     RecordTable,
+    capsched_timeline_records,
     feature_records,
     fig1_records,
     fig9_records,
+    fleet_survival_records,
     sweep_records,
     table1_records,
     table2_records,
@@ -37,9 +39,11 @@ from repro.experiments.figures import (
     power_sweep,
 )
 from repro.experiments.reporting import (
+    render_capsched_timeline,
     render_features,
     render_fig1,
     render_fig9,
+    render_fleet_survival,
     render_sweep,
     render_table1,
     render_table2,
@@ -161,6 +165,85 @@ def _feature_spec(name: str, title: str, generator) -> FigureSpec:
         lambda data: render_features(data, title),
         feature_records,
     )
+
+
+def _gen_fleet_survival(options: GenOptions) -> list[dict]:
+    """A small canned chaos fleet, journaled to a scratch directory;
+    the survival table is then derived from the journal exactly as it
+    would be from a real ``repro fleet run --journal`` artifact."""
+    import tempfile
+
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.fleet import FleetJournal, FleetSimulation, synthesize_fleet
+
+    plan = synthesize_fleet(5, seed=7, max_steps=40)
+    faults = FaultPlan(
+        specs=(
+            FaultSpec("fleet.node", "crash", start=2, max_fires=1),
+            FaultSpec("fleet.node", "hang", start=30, max_fires=1),
+            FaultSpec("fleet.telemetry", "partition", start=8,
+                      max_fires=1),
+            FaultSpec("fleet.cap_write", "reject", probability=0.5,
+                      max_fires=4),
+            FaultSpec("fleet.membership", "flap", start=12,
+                      max_fires=1),
+        ),
+        seed=11,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = FleetJournal(Path(tmp) / "fleet.jsonl")
+        FleetSimulation(plan, faults, journal=journal).run()
+        return fleet_survival_records(journal.path)
+
+
+def _gen_capsched_timeline(options: GenOptions) -> list[dict]:
+    """One capped run under a dynamic cap schedule with an injected
+    write rejection, captured through a scratch telemetry bus; the
+    timeline is then parsed back from the JSONL it leaves behind."""
+    import dataclasses
+    import tempfile
+
+    from repro.core.capschedule import CapEvent, CapSchedule
+    from repro.experiments.runner import ExperimentSetup, run_strategy
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.telemetry import JsonlSink, TelemetryBus, install
+    from repro.workloads.registry import application_by_name
+
+    app = dataclasses.replace(
+        application_by_name("synthetic"), timesteps=8
+    )
+    schedule = CapSchedule(
+        events=(
+            CapEvent(4, 85.0),
+            CapEvent(10, 70.0),
+            CapEvent(16, 100.0),
+        ),
+        hysteresis_invocations=1,
+    )
+    setup = ExperimentSetup(
+        spec=crill(),
+        cap_w=115.0,
+        repeats=1,
+        seed=0,
+        cap_schedule=schedule,
+        fault_plan=FaultPlan(
+            specs=(
+                FaultSpec("rapl.cap_write", "reject", start=3,
+                          max_fires=3),
+            ),
+            seed=5,
+        ),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = TelemetryBus(enabled=True)
+        scratch.add_sink(JsonlSink(Path(tmp) / "telemetry.jsonl"))
+        previous = install(scratch)
+        try:
+            run_strategy("default", app, setup)
+        finally:
+            install(previous)
+            scratch.close()
+        return capsched_timeline_records(tmp)
 
 
 _FIG1_TITLE = (
@@ -286,6 +369,23 @@ REGISTRY: dict[str, FigureSpec] = {
             lambda options: table2_sp_optimal_configs(),
             render_table2,
             table2_records,
+        ),
+        _spec(
+            "fleet_survival",
+            "table",
+            "Fleet survival by degradation kind (chaos fleet run)",
+            _gen_fleet_survival,
+            render_fleet_survival,
+            lambda data: data,
+        ),
+        _spec(
+            "capsched_timeline",
+            "table",
+            "Cap-schedule adaptation timeline (telemetry cap.change "
+            "events)",
+            _gen_capsched_timeline,
+            render_capsched_timeline,
+            lambda data: data,
         ),
     )
 }

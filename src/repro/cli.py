@@ -193,6 +193,64 @@ def build_parser() -> argparse.ArgumentParser:
              "local fallback on any failure",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a cluster of ARCS nodes under one global "
+             "power budget",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="run a fleet: staggered nodes, hierarchical budget "
+             "allocator, failure-aware membership",
+    )
+    fleet_run.add_argument(
+        "--nodes", type=int, default=8,
+        help="size of the synthesized mixed crill/minotaur roster "
+             "(ignored with --plan; default: 8)",
+    )
+    fleet_run.add_argument(
+        "--global-cap", type=float, default=None, dest="global_cap",
+        metavar="W",
+        help="global power budget in watts (default: ~75%% of the "
+             "roster's summed TDP)",
+    )
+    fleet_run.add_argument(
+        "--plan", default=None, metavar="PLAN.JSON",
+        help="full fleet plan (see examples/fleetplan.json); "
+             "overrides --nodes/--global-cap/--seed/--max-steps",
+    )
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument(
+        "--max-steps", type=int, default=200,
+        help="hard bound on simulation steps (default: 200)",
+    )
+    fleet_run.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="fault plan arming the fleet.* sites (node crash/hang, "
+             "telemetry drop/partition, cap-write reject, flapping "
+             "membership)",
+    )
+    fleet_run.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="fsync'd per-step fleet journal; pair with --resume to "
+             "continue a killed run byte-identically",
+    )
+    fleet_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the last intact snapshot in --journal",
+    )
+    fleet_run.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record every fleet event / budget gauge as "
+             "fleet.jsonl plus trace.json under DIR",
+    )
+    fleet_run.add_argument(
+        "--concurrency", type=int, default=None,
+        help="tuning fan-out width (default: min(8, cores); forced "
+             "serial under --telemetry for byte-identical logs)",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the tuning-as-a-service config-knowledge daemon",
@@ -539,6 +597,57 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    from repro.fleet import (
+        FleetJournal,
+        FleetJournalMismatchError,
+        FleetPlanError,
+        FleetSimulation,
+        load_fleet_plan,
+        render_fleet,
+        synthesize_fleet,
+    )
+
+    try:
+        if args.plan is not None:
+            plan = load_fleet_plan(args.plan)
+        else:
+            plan = synthesize_fleet(
+                args.nodes,
+                args.global_cap,
+                seed=args.seed,
+                max_steps=args.max_steps,
+            )
+    except FleetPlanError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.resume and args.journal is None:
+        raise SystemExit("error: --resume requires --journal")
+    if args.concurrency is not None and args.concurrency < 1:
+        raise SystemExit(
+            f"error: --concurrency must be >= 1, got {args.concurrency}"
+        )
+    sim = FleetSimulation(
+        plan,
+        _load_faults(args.faults),
+        journal=FleetJournal(args.journal) if args.journal else None,
+        resume=args.resume,
+        concurrency=args.concurrency,
+    )
+    try:
+        if args.telemetry:
+            with _telemetry_session(
+                args.telemetry, "fleet.jsonl",
+                command="fleet", nodes=len(plan.nodes),
+                global_cap_w=plan.global_cap_w, seed=plan.seed,
+            ):
+                result = sim.run()
+        else:
+            result = sim.run()
+    except FleetJournalMismatchError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return render_fleet(result)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the tuning-service daemon until shutdown/Ctrl-C."""
     from repro.service.daemon import serve_forever
@@ -664,6 +773,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_run(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "fleet":
+        print(_cmd_fleet(args))
     elif args.command == "serve":
         return _cmd_serve(args)
     elif args.command == "figures":

@@ -25,7 +25,11 @@ import hashlib
 import time
 import traceback
 from collections.abc import Callable, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
@@ -68,6 +72,27 @@ _FATAL_TYPES: tuple[type[BaseException], ...] = (
     TuningDidNotConverge,
     CorruptHistoryError,
 )
+
+#: exception types that signal a *transient* failure worth retrying:
+#: executor plumbing (a broken pool, pipe/pickle I/O, a torn stream),
+#: a worker that outlived its timeout budget, and the
+#: flaky-measurement ``RuntimeError`` family (which also covers the
+#: injected ``sweep.worker`` crash).
+_RETRYABLE_TYPES: tuple[type[BaseException], ...] = (
+    FutureTimeoutError,
+    BrokenExecutor,
+    RuntimeError,
+    OSError,
+    EOFError,
+)
+
+#: the only failures the attempt loops classify and wrap in
+#: :class:`SweepTaskError`.  Anything outside this union is a harness
+#: bug, not a task failure, and propagates raw with its original
+#: traceback - a blanket ``except Exception`` here used to re-badge
+#: such bugs as retryable cell failures and burn every retry slot
+#: reproducing them.
+_CLASSIFIED_TYPES = _FATAL_TYPES + _RETRYABLE_TYPES
 
 
 def _is_fatal(exc: BaseException) -> bool:
@@ -512,7 +537,7 @@ class ParallelSweepExecutor:
                 # would bury the original task/attempt/cause a level
                 # deeper, so pass it through untouched.
                 raise
-            except Exception as exc:
+            except _CLASSIFIED_TYPES as exc:
                 if _is_fatal(exc):
                     raise SweepTaskError(
                         task, attempt, exc, retryable=False
@@ -568,7 +593,7 @@ class ParallelSweepExecutor:
                 except SweepTaskError:
                     # see _run_inline: never double-wrap.
                     raise
-                except Exception as exc:
+                except _CLASSIFIED_TYPES as exc:
                     if _is_fatal(exc):
                         raise SweepTaskError(
                             tasks[i], attempt, exc, retryable=False

@@ -134,3 +134,44 @@ def render_table2(rows: list[Table2Row]) -> str:
         title="Table II: optimal configuration chosen by ARCS-Offline for "
         "SP regions",
     )
+
+
+def render_fleet_survival(rows: list[dict]) -> str:
+    """Text backend of the fleet survival-rate table (rows from
+    :func:`repro.analysis.records.fleet_survival_records`)."""
+    table_rows = [
+        (
+            r["kind"],
+            r["events"],
+            r["nodes_affected"],
+            r["nodes_survived"],
+            f"{r['survival_rate'] * 100:.1f}%",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("degradation", "events", "affected", "survived", "survival"),
+        table_rows,
+        title="Fleet survival by degradation kind (chaos fleet run)",
+    )
+
+
+def render_capsched_timeline(rows: list[dict]) -> str:
+    """Text backend of the cap-schedule adaptation timeline (rows
+    from :func:`repro.analysis.records.capsched_timeline_records`)."""
+    table_rows = [
+        (
+            r["stream"],
+            r["invocation"],
+            r["cap_from"],
+            r["cap_to"],
+            "applied" if r["applied"] else "rejected",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("stream", "invocation", "from", "to", "outcome"),
+        table_rows,
+        title="Cap-schedule adaptation timeline (telemetry cap.change "
+        "events)",
+    )

@@ -26,6 +26,10 @@ site                      actions
 ``service.response``      ``hang`` / ``slow``
 ``service.payload``       ``torn`` / ``corrupt``
 ``service.server``        ``crash``
+``fleet.node``            ``crash`` / ``hang``
+``fleet.telemetry``       ``drop`` / ``partition``
+``fleet.cap_write``       ``reject``
+``fleet.membership``      ``flap``
 ========================  =======================================
 
 The ``service.*`` sites model the network between a tuning-service
@@ -42,6 +46,18 @@ error.
 executions, and are handled by the watchdog layer in
 :mod:`repro.supervise` (retry, pin to default, abort) rather than by
 the sweep executor.
+
+The ``fleet.*`` sites model failures of whole nodes inside a
+:mod:`repro.fleet` simulation: a node process dying permanently
+(``crash``) or stalling as a straggler for ``magnitude`` fleet steps
+(``hang``), the telemetry channel losing a single heartbeat report
+(``drop``) or partitioning the node away for ``magnitude`` steps while
+it keeps working (``partition``), a per-node cap write being rejected
+by the node's firmware (``cap_write``/``reject``) and a flapping
+member whose heartbeats alternate for ``magnitude`` steps
+(``membership``/``flap``).  They are polled once per node per fleet
+step by :class:`~repro.fleet.sim.FleetSimulation`, in roster order, so
+a faulted fleet run replays bit-for-bit.
 
 Plans serialize to/from JSON (the CLI's ``--faults plan.json``), are
 frozen/hashable (they ride inside :class:`~repro.experiments.runner.
@@ -69,6 +85,10 @@ FAULT_SITES: dict[str, tuple[str, ...]] = {
     "service.response": ("hang", "slow"),
     "service.payload": ("torn", "corrupt"),
     "service.server": ("crash",),
+    "fleet.node": ("crash", "hang"),
+    "fleet.telemetry": ("drop", "partition"),
+    "fleet.cap_write": ("reject",),
+    "fleet.membership": ("flap",),
 }
 
 #: default spike factor for ``measure.noise``: a timer glitch on a
@@ -77,6 +97,12 @@ DEFAULT_SPIKE_FACTOR = 1.0e4
 
 #: default simulated hang duration for ``sweep.worker``/``hang``.
 DEFAULT_HANG_S = 2.0
+
+#: default fleet-step durations for the ``fleet.*`` window faults
+#: (used when the spec carries no ``magnitude``).
+DEFAULT_FLEET_HANG_STEPS = 3
+DEFAULT_FLEET_PARTITION_STEPS = 4
+DEFAULT_FLEET_FLAP_STEPS = 6
 
 
 class FaultPlanError(ValueError):

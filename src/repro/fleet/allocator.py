@@ -1,0 +1,329 @@
+"""The hierarchical budget allocator: one global cap, many node caps.
+
+Each fleet step the allocator turns (live membership, last-known node
+telemetry) into per-node power caps under the hard invariant::
+
+    sum(caps of live, un-parked nodes) <= global cap
+
+where un-cappable nodes (Minotaur-like: no capping privilege) are
+accounted at their full TDP.  The policy is deliberately simple and
+fully deterministic:
+
+1. the fixed TDP of live un-cappable nodes comes off the top (if even
+   that does not fit, the newest such nodes are power-gated);
+2. every live cappable node is guaranteed a floor of
+   ``min_cap_fraction * TDP`` (again parking the newest nodes when the
+   floor sum exceeds the remaining pool);
+3. the remaining headroom is split proportionally to each node's
+   last-reported utilization (``power / cap``, so idle nodes donate
+   headroom to busy ones), clamped to TDP;
+4. shares are quantized *down* to ``quantum_w`` - quantization can
+   only lower a node's cap, so it can never break the invariant, and
+   it keeps re-tunes landing on previously-tuned cap levels (the
+   process-wide evaluation memo makes those nearly free);
+5. changes smaller than ``hysteresis_w``, or sooner than
+   ``hysteresis_steps`` after the node's last change, are deferred and
+   coalesced to the latest target - the
+   :class:`~repro.core.capschedule.CapScheduleApplier` semantics at
+   fleet scale - *except* when honoring the stale cap would overshoot
+   the pool, in which case the deferral is overridden (safety beats
+   smoothing).
+
+During a total telemetry blackout (no report from any member) the
+allocator holds the last-known-good allocation instead of reshuffling
+on zero information; the hold is itself a typed degradation event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fleet.events import FleetEvent
+from repro.fleet.plan import FleetPlan
+
+#: invariant comparisons tolerate float-sum noise only.
+_EPS = 1e-6
+
+
+class BudgetInvariantError(RuntimeError):
+    """The accounted fleet power exceeded the global cap - a bug, not
+    a degradation; the chaos and property tests exist to prove this is
+    unreachable under any fault plan."""
+
+
+@dataclass(frozen=True)
+class NodeBudgetInfo:
+    """The allocator's static view of one live node."""
+
+    node_id: str
+    cappable: bool
+    tdp_w: float
+    min_cap_w: float
+
+
+class BudgetAllocator:
+    """Deterministic per-step cap redistribution for one fleet."""
+
+    def __init__(self, plan: FleetPlan) -> None:
+        self.plan = plan
+        self.global_cap_w = plan.global_cap_w
+        #: confirmed caps, cappable nodes only (W).
+        self.applied: dict[str, float] = {}
+        self.last_change: dict[str, int] = {}
+        #: hysteresis-deferred targets, coalesced to the latest value.
+        self.pending: dict[str, float] = {}
+        self.parked_until: dict[str, int] = {}
+        self._budget_parked: set[str] = set()
+        self._holding = False
+        self._allocated_once = False
+
+    # ------------------------------------------------------------------
+    def is_parked(self, node_id: str, step: int) -> bool:
+        until = self.parked_until.get(node_id)
+        return until is not None and step < until
+
+    def park(self, node_id: str, step: int, steps: int) -> None:
+        """Power-gate a node (its accounted share drops to zero)."""
+        self.parked_until[node_id] = step + steps
+
+    def release(self, node_id: str) -> None:
+        """Forget a departed node entirely."""
+        self.applied.pop(node_id, None)
+        self.last_change.pop(node_id, None)
+        self.pending.pop(node_id, None)
+        self.parked_until.pop(node_id, None)
+        self._budget_parked.discard(node_id)
+
+    def note_applied(self, node_id: str, cap_w: float, step: int) -> None:
+        """A cap write was confirmed by the node."""
+        self.applied[node_id] = cap_w
+        self.last_change[node_id] = step
+        self.pending.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        step: int,
+        infos: list[NodeBudgetInfo],
+        utilization: dict[str, float],
+        fresh_reports: int,
+    ) -> tuple[dict[str, float], list[FleetEvent]]:
+        """Targets for this step's live roster (``infos`` in admission
+        order - budget parking sheds the *newest* nodes first).
+
+        Returns ``(targets, events)``; targets cover cappable,
+        un-parked nodes only.  The caller performs the actual cap
+        writes and confirms them via :meth:`note_applied`.
+        """
+        events: list[FleetEvent] = []
+        active = [
+            i for i in infos if not self.is_parked(i.node_id, step)
+        ]
+
+        # total telemetry blackout: hold last-known-good allocation.
+        known = [
+            i for i in active
+            if not i.cappable or i.node_id in self.applied
+        ]
+        if (
+            fresh_reports == 0
+            and active
+            and self._allocated_once
+            and len(known) == len(active)
+        ):
+            held = {
+                i.node_id: self.applied[i.node_id]
+                for i in active
+                if i.cappable
+            }
+            held_fixed = sum(
+                i.tdp_w for i in active if not i.cappable
+            )
+            # the hold is only safe while the last-known-good caps
+            # still fit the *current* roster: an un-cappable node
+            # admitted during the blackout never needed an applied
+            # cap, but its fixed TDP draw is real.  When holding
+            # would overshoot, fall through to a full reallocation -
+            # safety beats smoothing, as with hysteresis overrides.
+            if (
+                held_fixed + sum(held.values())
+                <= self.global_cap_w + _EPS
+            ):
+                if not self._holding:
+                    events.append(
+                        FleetEvent(
+                            step, "allocation_held", "",
+                            "telemetry blackout: holding "
+                            "last-known-good allocation",
+                        )
+                    )
+                self._holding = True
+                self._sync_budget_park_events(step, set(), events)
+                return held, events
+        self._holding = False
+        self._allocated_once = True
+
+        # 1) fixed draw of un-cappable nodes, newest parked on overflow.
+        budget_parked: set[str] = set()
+        uncappable = [i for i in active if not i.cappable]
+        fixed = sum(i.tdp_w for i in uncappable)
+        while fixed > self.global_cap_w + _EPS and uncappable:
+            shed = uncappable.pop()
+            fixed -= shed.tdp_w
+            budget_parked.add(shed.node_id)
+        pool = self.global_cap_w - fixed
+
+        # 2) guaranteed floors, newest parked on overflow.
+        cappable = [
+            i for i in active
+            if i.cappable and i.node_id not in budget_parked
+        ]
+        while (
+            cappable
+            and sum(i.min_cap_w for i in cappable) > pool + _EPS
+        ):
+            shed = cappable.pop()
+            budget_parked.add(shed.node_id)
+        self._sync_budget_park_events(step, budget_parked, events)
+        if not cappable:
+            return {}, events
+
+        # 3) proportional headroom from last-known utilization.
+        floors = sum(i.min_cap_w for i in cappable)
+        extra = pool - floors
+        weights = {
+            i.node_id: (
+                max(0.25, min(1.0, utilization.get(i.node_id, 1.0)))
+                * (i.tdp_w - i.min_cap_w)
+            )
+            for i in cappable
+        }
+        total_weight = sum(weights.values())
+        targets: dict[str, float] = {}
+        for info in cappable:
+            share = info.min_cap_w
+            if total_weight > 0:
+                share += extra * weights[info.node_id] / total_weight
+            share = min(share, info.tdp_w)
+            # 4) quantize down, never below the floor.
+            q = self.plan.quantum_w
+            share = max(
+                info.min_cap_w, math.floor(share / q + _EPS) * q
+            )
+            targets[info.node_id] = share
+
+        # 5) hysteresis + coalescing, overridden when safety needs it.
+        proposal: dict[str, float] = {}
+        deferred: list[str] = []
+        for info in cappable:
+            node_id = info.node_id
+            target = targets[node_id]
+            current = self.applied.get(node_id)
+            if current is None or current == target:
+                proposal[node_id] = target
+                self.pending.pop(node_id, None)
+                continue
+            too_small = abs(target - current) < self.plan.hysteresis_w
+            too_soon = (
+                step - self.last_change.get(node_id, -10**9)
+                < self.plan.hysteresis_steps
+            )
+            if too_small or too_soon:
+                proposal[node_id] = current
+                self.pending[node_id] = target  # coalesce to latest
+                deferred.append(node_id)
+            else:
+                proposal[node_id] = target
+                self.pending.pop(node_id, None)
+        overshoot = sum(proposal.values()) - pool
+        if overshoot > _EPS:
+            # honoring stale caps would break the budget: force the
+            # deferred nodes with the largest excess down to target.
+            deferred.sort(
+                key=lambda n: proposal[n] - targets[n], reverse=True
+            )
+            for node_id in deferred:
+                excess = proposal[node_id] - targets[node_id]
+                if overshoot <= _EPS or excess <= 0:
+                    break
+                overshoot -= excess
+                proposal[node_id] = targets[node_id]
+                self.pending.pop(node_id, None)
+        return proposal, events
+
+    def _sync_budget_park_events(
+        self, step: int, parked: set[str], events: list[FleetEvent]
+    ) -> None:
+        for node_id in sorted(parked - self._budget_parked):
+            events.append(
+                FleetEvent(
+                    step, "node_parked", node_id,
+                    "insufficient global budget; power-gated",
+                )
+            )
+        for node_id in sorted(self._budget_parked - parked):
+            events.append(
+                FleetEvent(step, "node_unparked", node_id, "")
+            )
+        self._budget_parked = parked
+        for node_id in parked:
+            # re-examined every step: a budget park lasts one round.
+            self.parked_until[node_id] = step + 1
+
+    # ------------------------------------------------------------------
+    def accounted_power(
+        self, step: int, infos: list[NodeBudgetInfo]
+    ) -> float:
+        """The power the allocator is currently answerable for: caps
+        of live un-parked cappable nodes + TDP of live un-parked
+        un-cappable ones."""
+        total = 0.0
+        for info in infos:
+            if self.is_parked(info.node_id, step):
+                continue
+            if info.cappable:
+                total += self.applied.get(info.node_id, 0.0)
+            else:
+                total += info.tdp_w
+        return total
+
+    def check_invariant(
+        self, step: int, infos: list[NodeBudgetInfo]
+    ) -> float:
+        total = self.accounted_power(step, infos)
+        if total > self.global_cap_w + _EPS:
+            raise BudgetInvariantError(
+                f"step {step}: accounted fleet power {total:.1f}W "
+                f"exceeds the global cap {self.global_cap_w:.1f}W"
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "applied": dict(sorted(self.applied.items())),
+            "last_change": dict(sorted(self.last_change.items())),
+            "pending": dict(sorted(self.pending.items())),
+            "parked_until": dict(sorted(self.parked_until.items())),
+            "budget_parked": sorted(self._budget_parked),
+            "holding": self._holding,
+            "allocated_once": self._allocated_once,
+        }
+
+    def restore(self, blob: dict) -> None:
+        self.applied = {
+            str(k): float(v) for k, v in blob["applied"].items()
+        }
+        self.last_change = {
+            str(k): int(v) for k, v in blob["last_change"].items()
+        }
+        self.pending = {
+            str(k): float(v) for k, v in blob["pending"].items()
+        }
+        self.parked_until = {
+            str(k): int(v) for k, v in blob["parked_until"].items()
+        }
+        self._budget_parked = set(blob["budget_parked"])
+        self._holding = bool(blob["holding"])
+        self._allocated_once = bool(blob["allocated_once"])

@@ -1,0 +1,72 @@
+"""Typed fleet events: the single vocabulary for everything a fleet
+run does to survive.
+
+Every membership transition, budget action and fleet-tier fault
+consequence is recorded as one :class:`FleetEvent` - the fleet-level
+analogue of ``StrategyRunResult.degradations``.  Events are what the
+chaos harness and the survival-rate analysis table consume, so the
+``kind`` strings here are a stable contract: every ``fleet.*`` fault
+site maps to at least one degradation kind (see
+:data:`FAULT_DEGRADATIONS`), which is how tests prove that no injected
+failure is ever swallowed silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: event kinds that represent degraded (not merely routine) behaviour.
+DEGRADATION_KINDS: frozenset[str] = frozenset(
+    {
+        "node_crashed",
+        "node_hang",
+        "node_suspect",
+        "node_dead",
+        "node_revived",
+        "node_quarantined",
+        "node_parked",
+        "cap_write_failed",
+        "telemetry_drop",
+        "telemetry_partition",
+        "membership_flap",
+        "allocation_held",
+        "tuning_degraded",
+    }
+)
+
+#: fleet fault site/action -> the degradation kind its firing must
+#: surface as.  The chaos harness asserts this mapping end to end.
+FAULT_DEGRADATIONS: dict[tuple[str, str], str] = {
+    ("fleet.node", "crash"): "node_crashed",
+    ("fleet.node", "hang"): "node_hang",
+    ("fleet.telemetry", "drop"): "telemetry_drop",
+    ("fleet.telemetry", "partition"): "telemetry_partition",
+    ("fleet.cap_write", "reject"): "cap_write_failed",
+    ("fleet.membership", "flap"): "membership_flap",
+}
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One thing that happened to the fleet at one step.
+
+    ``node`` is empty for fleet-global events (e.g. a total telemetry
+    blackout holding the previous allocation).
+    """
+
+    step: int
+    kind: str
+    node: str = ""
+    detail: str = ""
+
+    @property
+    def degradation(self) -> bool:
+        return self.kind in DEGRADATION_KINDS
+
+    def to_json(self) -> list:
+        return [self.step, self.kind, self.node, self.detail]
+
+    @classmethod
+    def from_json(cls, blob: list) -> "FleetEvent":
+        step, kind, node, detail = blob
+        return cls(int(step), str(kind), str(node), str(detail))

@@ -1,0 +1,188 @@
+"""Health-tracking fleet membership: suspect -> dead on missed
+heartbeats, quarantine for flappers.
+
+Each fleet step the simulation tells the tracker which nodes'
+telemetry reports actually arrived.  A node that misses
+``suspect_after`` consecutive heartbeats becomes *suspect* (it keeps
+its last-known-good allocation - the graceful-degradation half of the
+contract), after ``dead_after`` it is declared *dead* and its power
+share is reclaimed and redistributed.  A dead node that reports again
+(a healed partition, a recovered straggler) is *revived* - but a node
+whose reachability flips ``flap_threshold`` times inside
+``flap_window`` steps is *quarantined* for ``quarantine_steps``: the
+membership analogue of cap-schedule hysteresis, so a flapping member
+cannot make the allocator thrash.  Every transition is emitted as a
+typed :class:`~repro.fleet.events.FleetEvent`.
+
+The tracker deliberately knows nothing about *why* a heartbeat is
+missing (crash, hang, telemetry partition, flap fault) - like any real
+failure detector it only sees silence, and the chaos tests exercise
+exactly that ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.events import FleetEvent
+from repro.fleet.plan import FleetPlan
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class _Member:
+    state: str
+    last_seen: int
+    #: steps at which reachability flipped (for flap detection).
+    transitions: list[int] = field(default_factory=list)
+    quarantine_until: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state,
+            "last_seen": self.last_seen,
+            "transitions": list(self.transitions),
+            "quarantine_until": self.quarantine_until,
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "_Member":
+        return cls(
+            state=str(blob["state"]),
+            last_seen=int(blob["last_seen"]),
+            transitions=[int(t) for t in blob["transitions"]],
+            quarantine_until=int(blob["quarantine_until"]),
+        )
+
+
+class MembershipTracker:
+    """Failure detector + flap damper for one fleet."""
+
+    def __init__(self, plan: FleetPlan) -> None:
+        self.plan = plan
+        self._members: dict[str, _Member] = {}
+
+    # ------------------------------------------------------------------
+    def admit(self, node_id: str, step: int) -> None:
+        self._members[node_id] = _Member(state=ALIVE, last_seen=step)
+
+    def remove(self, node_id: str) -> None:
+        """Clean departure (node finished its workload)."""
+        self._members.pop(node_id, None)
+
+    def state(self, node_id: str) -> str | None:
+        member = self._members.get(node_id)
+        return None if member is None else member.state
+
+    def live(self) -> list[str]:
+        """Members whose power share is currently accounted: alive or
+        suspect (a suspect keeps its last-known-good allocation)."""
+        return sorted(
+            n
+            for n, m in self._members.items()
+            if m.state in (ALIVE, SUSPECT)
+        )
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, step: int, reported: set[str]
+    ) -> list[FleetEvent]:
+        """Advance every member's health from this step's delivered
+        heartbeats; returns the transition events (roster order)."""
+        plan = self.plan
+        events: list[FleetEvent] = []
+        for node_id in sorted(self._members):
+            member = self._members[node_id]
+            heard = node_id in reported
+            if member.state == QUARANTINED:
+                if heard:
+                    member.last_seen = step
+                if step >= member.quarantine_until:
+                    member.state = ALIVE if heard else SUSPECT
+                    member.last_seen = step
+                    member.transitions.clear()
+                    events.append(
+                        FleetEvent(
+                            step, "quarantine_lifted", node_id,
+                            f"re-admitted as {member.state}",
+                        )
+                    )
+                continue
+            if heard:
+                if member.state in (SUSPECT, DEAD):
+                    member.transitions.append(step)
+                    was = member.state
+                    member.state = ALIVE
+                    if was == DEAD:
+                        events.append(
+                            FleetEvent(
+                                step, "node_revived", node_id,
+                                "heartbeat after being declared dead",
+                            )
+                        )
+                    if self._flapping(member, step):
+                        member.state = QUARANTINED
+                        member.quarantine_until = (
+                            step + plan.quarantine_steps
+                        )
+                        events.append(
+                            FleetEvent(
+                                step, "node_quarantined", node_id,
+                                f"{len(member.transitions)} reachability"
+                                f" flips in {plan.flap_window} steps; "
+                                f"quarantined for "
+                                f"{plan.quarantine_steps}",
+                            )
+                        )
+                member.last_seen = step
+                continue
+            missed = step - member.last_seen
+            if member.state == ALIVE and missed >= plan.suspect_after:
+                member.state = SUSPECT
+                member.transitions.append(step)
+                events.append(
+                    FleetEvent(
+                        step, "node_suspect", node_id,
+                        f"{missed} heartbeats missed; holding "
+                        "last-known-good allocation",
+                    )
+                )
+            if (
+                member.state == SUSPECT
+                and missed >= plan.dead_after
+            ):
+                member.state = DEAD
+                events.append(
+                    FleetEvent(
+                        step, "node_dead", node_id,
+                        f"{missed} heartbeats missed; power share "
+                        "reclaimed",
+                    )
+                )
+        return events
+
+    def _flapping(self, member: _Member, step: int) -> bool:
+        window_start = step - self.plan.flap_window
+        recent = [t for t in member.transitions if t > window_start]
+        member.transitions[:] = recent
+        return len(recent) >= self.plan.flap_threshold
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            node_id: member.to_json()
+            for node_id, member in sorted(self._members.items())
+        }
+
+    def restore(self, blob: dict) -> None:
+        self._members = {
+            str(node_id): _Member.from_json(member)
+            for node_id, member in blob.items()
+        }

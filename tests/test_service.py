@@ -353,6 +353,49 @@ class TestCircuitBreaker:
         assert breaker.state == "open"
         assert breaker.opens == 2
 
+    def test_half_open_cycle_reopen_then_reclose(self):
+        """The full recovery arc: open -> half-open probe fails ->
+        re-open -> half-open probe succeeds -> closed, with the skip
+        and open counters tracking every transition."""
+        breaker = CircuitBreaker(failure_threshold=2, probe_interval=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+        # first probe window: short-circuit once, then probe
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_failure()         # sick probe: straight back
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker.skipped == 0      # the window restarts
+
+        # second probe window: service recovered
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+        assert breaker.allow()           # closed again: no gating
+
+    def test_reclosed_breaker_needs_full_threshold_to_reopen(self):
+        """Recovery resets the failure count: after a close, one
+        failure must not trip a threshold-2 breaker again."""
+        breaker = CircuitBreaker(failure_threshold=2, probe_interval=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow()           # probe
+        breaker.record_success()         # re-close
+        breaker.record_failure()         # one fresh failure
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()         # second: trips again
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+
 
 # ---------------------------------------------------------------------------
 # the ConfigSource chain

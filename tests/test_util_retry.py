@@ -176,3 +176,97 @@ class TestRun:
         assert attempts[0]["attrs"]["site"] == "unit.test"
         assert attempts[0]["attrs"]["attempt"] == 1
         assert attempts[0]["attrs"]["error"] == "RuntimeError"
+
+
+class TestSingleAttempt:
+    """attempts=1 is the degenerate policy: one call, no backoff."""
+
+    def test_failure_calls_once_raises_immediately(self):
+        policy = RetryPolicy(attempts=1, base_delay_s=10.0)
+        flaky = Flaky(5)
+        sleeps: list[float] = []
+        with pytest.raises(RuntimeError, match="boom #1"):
+            policy.run(
+                flaky, retry_on=RuntimeError, sleep=sleeps.append
+            )
+        assert flaky.calls == 1
+        assert sleeps == []
+
+    def test_success_needs_no_schedule(self):
+        policy = RetryPolicy(attempts=1, base_delay_s=10.0)
+        assert policy.run(Flaky(0), retry_on=RuntimeError) == "ok"
+        assert list(policy.delays()) == []
+
+    def test_on_failure_still_fires_for_the_only_attempt(self):
+        seen: list[int] = []
+        with pytest.raises(RuntimeError):
+            RetryPolicy(attempts=1).run(
+                Flaky(1),
+                retry_on=RuntimeError,
+                on_failure=lambda attempt, exc: seen.append(attempt),
+            )
+        assert seen == [1]
+
+
+class TestJitterBounds:
+    def test_jitter_bounds_hold_across_the_whole_schedule(self):
+        """Every jittered delay lands in [det * (1 - jitter), det] -
+        the deterministic delay is the worst case, never exceeded,
+        and jitter never shortens below its advertised fraction."""
+        policy = RetryPolicy(
+            attempts=6,
+            base_delay_s=0.05,
+            multiplier=2.0,
+            max_delay_s=0.4,
+            jitter=0.5,
+            seed=123,
+        )
+        for salt in ((), ("cap",), ("cap", 7)):
+            for failure in range(1, policy.attempts):
+                det = min(0.05 * 2.0 ** (failure - 1), 0.4)
+                delay = policy.delay_s(failure, *salt)
+                assert det * (1.0 - policy.jitter) <= delay <= det
+
+    def test_full_jitter_never_reaches_zero_base(self):
+        # jitter=1.0 may shrink a delay towards zero but never below
+        policy = RetryPolicy(
+            attempts=4, base_delay_s=0.1, jitter=1.0, seed=3
+        )
+        for failure in range(1, policy.attempts):
+            assert 0.0 <= policy.delay_s(failure) <= 0.1 * 2 ** (
+                failure - 1
+            )
+
+
+class TestExhaustionChaining:
+    def test_reraises_the_exact_last_instance(self):
+        flaky = Flaky(10)
+        seen: list[BaseException] = []
+        with pytest.raises(RuntimeError) as err:
+            RetryPolicy(attempts=3).run(
+                flaky,
+                retry_on=RuntimeError,
+                on_failure=lambda attempt, exc: seen.append(exc),
+            )
+        assert err.value is seen[-1]
+        assert str(err.value) == "boom #3"
+        assert len(seen) == 3
+        assert flaky.calls == 3
+
+    def test_exhaustion_preserves_the_cause_chain(self):
+        """A wrapped failure keeps its __cause__ through retry
+        exhaustion - the original failure site survives for the
+        error report."""
+
+        def wrapped_failure() -> None:
+            try:
+                raise OSError("root failure")
+            except OSError as exc:
+                raise RuntimeError("wrapped") from exc
+
+        with pytest.raises(RuntimeError, match="wrapped") as err:
+            RetryPolicy(attempts=2).run(
+                wrapped_failure, retry_on=RuntimeError
+            )
+        assert isinstance(err.value.__cause__, OSError)
+        assert str(err.value.__cause__) == "root failure"
