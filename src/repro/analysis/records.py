@@ -363,3 +363,158 @@ def telemetry_records(
                     row[key] = json.dumps(value, sort_keys=True)
             rows.append(row)
     return rows
+
+
+def service_hit_rate_records(
+    stats_response: Mapping,
+    counters: Mapping[str, float],
+    tiers: Sequence[str],
+) -> list[Record]:
+    """Hit-rate rows for the tuning service, at every granularity.
+
+    ``stats_response`` is a daemon ``stats``-verb reply (the
+    ``stats`` sub-object carries :meth:`ServiceStore.stats_json`
+    including ``per_shard``); ``counters`` are telemetry counter
+    totals from a bus that observed the client-side chain; ``tiers``
+    is the chain's tier order.  Scopes:
+
+    * ``tier``: per :class:`ConfigSource` tier - ``hits`` is lookups
+      the tier answered, ``misses`` is chain lookups it did *not*
+      answer (already answered above it, or missed), so ``hit_rate``
+      is the tier's share of all chain traffic;
+    * ``chain``: the whole degradation chain (miss = fresh tuning);
+    * ``shard``: per daemon store shard (zero-traffic shards elided);
+    * ``store``: the daemon store total.
+    """
+    rows: list[Record] = []
+    tier_hits = {
+        tier: float(counters.get(f"config_source.hits.{tier}", 0.0))
+        for tier in tiers
+    }
+    chain_misses = float(counters.get("config_source.misses", 0.0))
+    lookups = sum(tier_hits.values()) + chain_misses
+    for tier in tiers:
+        hits = tier_hits[tier]
+        rows.append(
+            {
+                "scope": "tier",
+                "name": tier,
+                "hits": int(hits),
+                "misses": int(lookups - hits),
+                "requests": int(lookups),
+                "hit_rate": (hits / lookups) if lookups else None,
+            }
+        )
+    rows.append(
+        {
+            "scope": "chain",
+            "name": "all",
+            "hits": int(lookups - chain_misses),
+            "misses": int(chain_misses),
+            "requests": int(lookups),
+            "hit_rate": (
+                (lookups - chain_misses) / lookups if lookups else None
+            ),
+        }
+    )
+    store_stats = stats_response.get("stats") or {}
+    for shard in store_stats.get("per_shard") or []:
+        hits = int(shard.get("hits", 0))
+        misses = int(shard.get("misses", 0))
+        requests = hits + misses
+        if requests == 0:
+            continue  # an untouched shard says nothing about hit rate
+        rows.append(
+            {
+                "scope": "shard",
+                "name": f"shard{int(shard.get('shard', 0)):02d}",
+                "hits": hits,
+                "misses": misses,
+                "requests": requests,
+                "hit_rate": hits / requests,
+            }
+        )
+    hits = int(store_stats.get("hits", 0))
+    misses = int(store_stats.get("misses", 0))
+    requests = hits + misses
+    rows.append(
+        {
+            "scope": "store",
+            "name": "total",
+            "hits": hits,
+            "misses": misses,
+            "requests": requests,
+            "hit_rate": (hits / requests) if requests else None,
+        }
+    )
+    return rows
+
+
+def bench_trend_records(bench_dir: str | Path) -> list[Record]:
+    """BENCH metric trends across a directory of snapshots.
+
+    ``bench_dir`` holds one subdirectory per recorded commit (sorted
+    name order = history order - date- or sequence-prefixed names
+    give chronological trends), each a ``BENCH_*.json`` set as
+    written by the benchmark suite.  One row per (bench, metric,
+    commit) with the value and its relative change against the
+    *first* snapshot that carried the metric.
+    """
+    from repro.analysis.bench import load_bench_dir
+
+    root = Path(bench_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(
+            f"not a bench-history directory: {root}"
+        )
+    snapshots: list[tuple[str, dict[str, dict]]] = []
+    for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+        try:
+            loaded = load_bench_dir(sub)
+        except FileNotFoundError:
+            continue
+        if loaded:
+            snapshots.append((sub.name, loaded))
+    if not snapshots:
+        raise ValueError(
+            f"no BENCH_*.json snapshots under {root} (expected one "
+            "subdirectory per commit)"
+        )
+    # stable row order: bench, metric, then commit (history) order
+    names = sorted({n for _, loaded in snapshots for n in loaded})
+    rows: list[Record] = []
+    for bench in names:
+        metrics = sorted(
+            {
+                m
+                for _, loaded in snapshots
+                if bench in loaded
+                for m in loaded[bench]["metrics"]
+            }
+        )
+        for metric in metrics:
+            first: float | None = None
+            for commit, loaded in snapshots:
+                entry = loaded.get(bench, {}).get("metrics", {}).get(
+                    metric
+                )
+                if entry is None:
+                    continue
+                value = float(entry["value"])
+                if first is None:
+                    first = value
+                rows.append(
+                    {
+                        "bench": bench,
+                        "metric": metric,
+                        "direction": str(entry["direction"]),
+                        "commit": commit,
+                        "value": value,
+                        "rel_change_vs_first": (
+                            (value - first) / abs(first)
+                            if first not in (None, 0.0)
+                            else 0.0
+                        ),
+                    }
+                )
+    return rows

@@ -20,11 +20,13 @@ from pathlib import Path
 
 from repro.analysis.records import (
     RecordTable,
+    bench_trend_records,
     capsched_timeline_records,
     feature_records,
     fig1_records,
     fig9_records,
     fleet_survival_records,
+    service_hit_rate_records,
     sweep_records,
     table1_records,
     table2_records,
@@ -39,11 +41,13 @@ from repro.experiments.figures import (
     power_sweep,
 )
 from repro.experiments.reporting import (
+    render_bench_trend,
     render_capsched_timeline,
     render_features,
     render_fig1,
     render_fig9,
     render_fleet_survival,
+    render_service_hit_rate,
     render_sweep,
     render_table1,
     render_table2,
@@ -85,6 +89,9 @@ class GenOptions:
     repeats: int = 3
     workers: int = 1
     cache: ExperimentCache | None = None
+    #: history directory for "external"-cost entries (bench_trend);
+    #: they read pre-existing artifacts instead of generating data.
+    bench_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -98,7 +105,9 @@ class FigureSpec:
     render_txt: Callable[[object], str]
     records: Callable[[object], list[dict]]
     #: "fast" entries finish in ~seconds; "sweep" entries run full
-    #: power sweeps with tuning (use workers/cache).
+    #: power sweeps with tuning (use workers/cache); "external"
+    #: entries need an input artifact the repo does not generate
+    #: (e.g. --bench-dir) and are excluded from the default-all set.
     cost: str = "fast"
 
 
@@ -246,6 +255,77 @@ def _gen_capsched_timeline(options: GenOptions) -> list[dict]:
         return capsched_timeline_records(tmp)
 
 
+def _gen_service_hit_rate(options: GenOptions) -> list[dict]:
+    """A real daemon on a scratch store, exercised two ways: direct
+    client put/get traffic (feeds the per-shard counters the ``stats``
+    verb exposes) and a cold/warm arcs-offline pass through the
+    degradation chain (feeds the per-tier telemetry counters).  The
+    table is then pure arithmetic over those counters - exactly what
+    ``repro monitor`` sees on a live run."""
+    import dataclasses
+    import tempfile
+
+    from repro.experiments.runner import ExperimentSetup, run_strategy
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import ThreadedDaemon
+    from repro.service.source import default_chain
+    from repro.telemetry import TelemetryBus, install
+    from repro.workloads.registry import application_by_name
+
+    app = dataclasses.replace(
+        application_by_name("synthetic"), timesteps=6
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with ThreadedDaemon(Path(tmp) / "store") as td:
+            client = ServiceClient(td.address)
+            for i in range(24):
+                client.put(f"figure-key-{i:02d}", {"payload": i})
+            for i in range(24):
+                client.get(f"figure-key-{i:02d}")  # store hits
+            for i in range(8):
+                client.get(f"absent-key-{i:02d}")  # store misses
+            scratch = TelemetryBus(enabled=True)
+            previous = install(scratch)
+            memo: dict[str, dict] = {}
+            try:
+                for cap in (85.0, 115.0):
+                    setup = ExperimentSetup(
+                        spec=crill(), cap_w=cap, repeats=1, seed=0
+                    )
+                    # cold: every tier misses, fresh tuning publishes
+                    chain = default_chain(td.address, memo=memo)
+                    run_strategy(
+                        "arcs-offline", app, setup, source=chain
+                    )
+                    # warm: the service tier answers
+                    chain = default_chain(td.address, memo={})
+                    run_strategy(
+                        "arcs-offline", app, setup, source=chain
+                    )
+                    # local-only warm: the memo tier answers
+                    chain = default_chain(None, memo=memo)
+                    run_strategy(
+                        "arcs-offline", app, setup, source=chain
+                    )
+                counters = dict(scratch.metrics.counters)
+            finally:
+                install(previous)
+                scratch.close()
+            stats = client.stats()
+        return service_hit_rate_records(
+            stats, counters, ("service", "memo")
+        )
+
+
+def _gen_bench_trend(options: GenOptions) -> list[dict]:
+    if options.bench_dir is None:
+        raise ValueError(
+            "the bench_trend figure reads a directory of per-commit "
+            "BENCH_*.json snapshots; pass --bench-dir DIR"
+        )
+    return bench_trend_records(options.bench_dir)
+
+
 _FIG1_TITLE = (
     "Fig. 1: BT x_solve region - best vs default configuration "
     "across power levels (smaller is better)"
@@ -387,6 +467,23 @@ REGISTRY: dict[str, FigureSpec] = {
             render_capsched_timeline,
             lambda data: data,
         ),
+        _spec(
+            "service_hit_rate",
+            "table",
+            "Tuning-service hit rate by tier and store shard",
+            _gen_service_hit_rate,
+            render_service_hit_rate,
+            lambda data: data,
+        ),
+        _spec(
+            "bench_trend",
+            "table",
+            "BENCH metric trend across commits",
+            _gen_bench_trend,
+            render_bench_trend,
+            lambda data: data,
+            cost="external",
+        ),
     )
 }
 
@@ -463,9 +560,16 @@ def generate_figures(
     progress: Callable[[str], None] | None = None,
 ) -> list[GeneratedFigure]:
     """Regenerate registered artifacts (all of them by default) into
-    ``out_dir``; the workhorse behind ``repro figures``."""
+    ``out_dir``; the workhorse behind ``repro figures``.
+
+    "external"-cost entries only run when named explicitly - the
+    default-all set must regenerate from the repo alone."""
     if names is None or not names:
-        names = figure_names()
+        names = [
+            name
+            for name in figure_names()
+            if REGISTRY[name].cost != "external"
+        ]
     specs = [get_spec(name) for name in names]  # validate all first
     generated: list[GeneratedFigure] = []
     for spec in specs:

@@ -51,6 +51,14 @@ from repro.experiments.runner import (
 )
 from repro.faults.inject import make_injector
 from repro.faults.plan import FaultPlan, FaultPlanError, load_fault_plan
+from repro.obs.monitor import monitor_follow, monitor_once
+from repro.obs.profile import (
+    DEFAULT_INTERVAL_S,
+    DEFAULT_TOP,
+    render_profile,
+)
+from repro.obs.slo import SloConfigError
+from repro.obs.trace import render_trace_tree, root_context
 from repro.openmp.batch import NO_BATCH_ENV, set_batching
 from repro.supervise import RunAbortedError
 from repro.experiments.tables import table1_search_space
@@ -271,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection plan for the server-side "
              "service.server site (chaos testing)",
     )
+    serve.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="record the daemon's request stream (per-op counters, "
+             "serve spans with adopted client trace context) as "
+             "daemon.jsonl under DIR",
+    )
 
     figures = sub.add_parser(
         "figures",
@@ -307,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=str(DEFAULT_CACHE_DIR),
         help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    figures.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="directory of per-commit BENCH_*.json snapshots "
+             "(one subdirectory per commit, sorted = oldest first); "
+             "required by the bench_trend figure",
+    )
 
     analysis = sub.add_parser(
         "analysis",
@@ -338,6 +358,64 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory written by --telemetry")
     trace.add_argument("--region", default=None,
                        help="only show decisions for this region")
+    trace.add_argument(
+        "--tree", action="store_true",
+        help="render the stitched cross-process span tree (trace-"
+             "context parent/child links) instead of the per-region "
+             "decision timeline",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="dashboard + SLO evaluation over a telemetry directory; "
+             "exit 1 if any SLO rule fires",
+    )
+    monitor.add_argument("dir", metavar="DIR",
+                         help="directory written by --telemetry")
+    monitor.add_argument(
+        "--slo", default=None, metavar="RULES.JSON",
+        help="declarative SLO rule file (see examples/slo.json); "
+             "violations become typed obs.alert events and exit 1",
+    )
+    monitor.add_argument(
+        "--follow", action="store_true",
+        help="live-tail the directory, re-rendering each interval "
+             "(Ctrl-C to stop)",
+    )
+    monitor.add_argument(
+        "--window", type=float, default=1.0, metavar="SECONDS",
+        help="rollup window in virtual seconds (default: 1.0)",
+    )
+    monitor.add_argument(
+        "--top", type=int, default=10,
+        help="slowest spans shown (default: 10)",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="--follow poll interval in wall seconds (default: 1.0)",
+    )
+    monitor.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="--follow: stop after N polls (default: until Ctrl-C)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic virtual-clock sampling profile of a "
+             "telemetry directory's spans, grouped by ancestry path",
+    )
+    profile.add_argument("dir", metavar="DIR",
+                         help="directory written by --telemetry")
+    profile.add_argument(
+        "--interval", type=float, default=DEFAULT_INTERVAL_S,
+        metavar="SECONDS",
+        help="virtual sampling interval "
+             f"(default: {DEFAULT_INTERVAL_S:g})",
+    )
+    profile.add_argument(
+        "--top", type=int, default=DEFAULT_TOP,
+        help=f"hot paths shown (default: {DEFAULT_TOP})",
+    )
 
     report = sub.add_parser(
         "report", help="summarize a recorded run's telemetry"
@@ -357,6 +435,12 @@ def _telemetry_session(directory: str, filename: str, **meta):
     out = Path(directory)
     session = TelemetryBus(enabled=True)
     session.add_sink(JsonlSink(out / filename))
+    # root the command's trace: every span recorded under this session
+    # becomes a descendant of a deterministic per-invocation trace id,
+    # so `repro trace --tree` stitches one tree per CLI command.  Set
+    # before meta() so the meta record itself is trace-stamped and can
+    # label the synthesized root node.
+    session.trace = root_context(**meta)
     session.meta(**meta)
     previous = install(session)
     try:
@@ -663,6 +747,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             fault_plan=_load_faults(args.faults),
             capacity=args.capacity,
+            telemetry_dir=args.telemetry,
         )
     except OSError as exc:
         # e.g. the port is taken or the host cannot be bound
@@ -701,6 +786,7 @@ def _cmd_figures(args: argparse.Namespace) -> str:
         cache=(
             None if args.no_cache else ExperimentCache(args.cache_dir)
         ),
+        bench_dir=args.bench_dir,
     )
     lines: list[str] = []
     try:
@@ -752,9 +838,45 @@ def _load_telemetry(directory: str):
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
-    return render_decision_timeline(
-        _load_telemetry(args.dir), region=args.region
-    )
+    loaded = _load_telemetry(args.dir)
+    if args.tree:
+        return render_trace_tree(loaded)
+    return render_decision_timeline(loaded, region=args.region)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> tuple[str, int]:
+    if args.window <= 0:
+        raise SystemExit(
+            f"error: --window must be > 0, got {args.window}"
+        )
+    try:
+        if args.follow:
+            code = monitor_follow(
+                args.dir, args.slo,
+                window_s=args.window, top_k=args.top,
+                interval_s=args.interval, max_polls=args.max_polls,
+            )
+            return "", code
+        return monitor_once(
+            args.dir, args.slo, window_s=args.window, top_k=args.top
+        )
+    except SloConfigError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    if args.interval <= 0:
+        raise SystemExit(
+            f"error: --interval must be > 0, got {args.interval}"
+        )
+    try:
+        return render_profile(
+            args.dir, interval_s=args.interval, top=args.top
+        )
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
@@ -785,6 +907,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return code
     elif args.command == "trace":
         print(_cmd_trace(args))
+    elif args.command == "monitor":
+        text, code = _cmd_monitor(args)
+        if text:
+            print(text)
+        return code
+    elif args.command == "profile":
+        print(_cmd_profile(args))
     elif args.command == "report":
         print(_cmd_report(args))
     return 0

@@ -107,11 +107,23 @@ class SweepJournal:
         completed cell with its ``task-<run_id>.jsonl`` trace file.
         Cells journaled without telemetry are absent.
         """
-        ids: dict[str, str] = {}
+        return self._field_by_digest("run_id")
+
+    def traceparents(self) -> dict[str, str]:
+        """Trace-context handoffs of journaled cells, keyed by digest.
+
+        A resumed sweep re-announces each reused cell with the
+        traceparent the original sweep assigned it, so the stitched
+        trace tree stays whole across the kill/resume boundary.
+        """
+        return self._field_by_digest("trace")
+
+    def _field_by_digest(self, field: str) -> dict[str, str]:
+        values: dict[str, str] = {}
         try:
             data = self.path.read_bytes()
         except FileNotFoundError:
-            return ids
+            return values
         for raw in data.splitlines():
             line = raw.decode(errors="replace").strip()
             if not line:
@@ -123,10 +135,10 @@ class SweepJournal:
             if not isinstance(blob, dict) or blob.get("kind") == "header":
                 continue
             digest = blob.get("digest")
-            run_id = blob.get("run_id")
-            if isinstance(digest, str) and isinstance(run_id, str):
-                ids[digest] = run_id
-        return ids
+            value = blob.get(field)
+            if isinstance(digest, str) and isinstance(value, str):
+                values[digest] = value
+        return values
 
     # ------------------------------------------------------------------
     def read_header(self) -> dict | None:
@@ -171,6 +183,7 @@ class SweepJournal:
         label: str,
         result: StrategyRunResult,
         run_id: str | None = None,
+        trace: str | None = None,
     ) -> None:
         """Record one completed cell durably (flush + fsync) so the
         entry survives the process dying immediately after.
@@ -178,7 +191,9 @@ class SweepJournal:
         ``run_id`` is the cell's telemetry run identifier; carrying it
         here lets a resumed sweep stitch the per-cell trace files of a
         killed sweep into one timeline (``load`` tolerates its absence
-        in legacy journals).
+        in legacy journals).  ``trace`` is the traceparent handed to
+        the cell's worker, preserved for the same cross-resume
+        stitching.
         """
         record = {
             "schema": JOURNAL_SCHEMA_VERSION,
@@ -188,6 +203,8 @@ class SweepJournal:
         }
         if run_id is not None:
             record["run_id"] = run_id
+        if trace is not None:
+            record["trace"] = trace
         self._append_line(record)
 
     def _append_line(self, record: dict) -> None:

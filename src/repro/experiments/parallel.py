@@ -31,7 +31,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.history import CorruptHistoryError, HistoryStore
@@ -49,6 +49,7 @@ from repro.experiments.runner import (
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import DEFAULT_HANG_S, FaultPlan, plan_fingerprint
 from repro.machine.spec import MachineSpec
+from repro.obs.trace import TraceContext, child_context, root_context
 from repro.telemetry.bus import TelemetryBus, bus, install
 from repro.telemetry.sinks import JsonlSink
 from repro.workloads.base import Application
@@ -140,6 +141,12 @@ class SweepTask:
     #: pointing a sweep at one must never invalidate existing
     #: cache/journal digests (results are byte-identical either way).
     service: str | None = None
+    #: traceparent handed off by the parent sweep's trace context; the
+    #: worker adopts it as the root of everything the cell emits, so
+    #: per-cell trace files stitch into the sweep's single tree.
+    #: Observational only - like ``telemetry_dir``, never part of
+    #: :meth:`setup` or any digest.
+    trace: str | None = None
 
     def setup(self) -> ExperimentSetup:
         return ExperimentSetup(
@@ -216,6 +223,16 @@ def run_sweep_task(task: SweepTask) -> StrategyRunResult:
     task_bus = TelemetryBus(enabled=True)
     task_bus.add_sink(
         JsonlSink(Path(task.telemetry_dir) / f"task-{run_id}.jsonl")
+    )
+    # adopt the parent sweep's trace handoff (or root a fresh trace)
+    # BEFORE the meta record, so the meta is stamped as belonging to
+    # the handoff span - that stamp is how the tree stitcher labels
+    # the cross-process boundary node.
+    adopted = TraceContext.from_traceparent(task.trace)
+    task_bus.trace = (
+        adopted
+        if adopted is not None
+        else root_context(run_id=run_id, task=task.label)
     )
     task_bus.meta(
         run_id=run_id,
@@ -411,6 +428,9 @@ class ParallelSweepExecutor:
                 self.journal.write_header(header)
 
         tb = bus()
+        journaled_traces: dict[str, str] = {}
+        if self.journal is not None and self.resume and tb.enabled:
+            journaled_traces = self.journal.traceparents()
         results: list[StrategyRunResult | None] = [None] * len(tasks)
         pending: list[int] = []
         for i, task in enumerate(tasks):
@@ -425,17 +445,31 @@ class ParallelSweepExecutor:
                         "journal" if from_journal is not None else "cache"
                     )
                     tb.count(f"sweep.tasks_{source}")
+                    reused_attrs: dict = {}
+                    handoff = journaled_traces.get(self._digest(task))
+                    if handoff is not None:
+                        reused_attrs["trace_handoff"] = handoff
                     tb.emit(
                         "sweep.task_reused",
                         task=task.label,
                         run_id=task.run_id(),
                         source=source,
+                        **reused_attrs,
                     )
             else:
                 pending.append(i)
 
         if not pending:
             return [r for r in results if r is not None]
+
+        # hand each pending cell its own child trace context, minted
+        # here in the parent so sibling workers (whose own counters all
+        # start at zero) can never collide on span ids.  The field is
+        # outside every digest, so stamping it is result-neutral.
+        if tb.enabled and tb.trace is not None:
+            for i in pending:
+                ctx = child_context(tb, tb.trace)
+                tasks[i] = replace(tasks[i], trace=ctx.to_traceparent())
 
         if self.max_workers == 1 or len(pending) == 1:
             for i in pending:
@@ -492,6 +526,7 @@ class ParallelSweepExecutor:
                 task.label,
                 result,
                 run_id=task.run_id(),
+                trace=task.trace,
             )
         tb = bus()
         if tb.enabled:

@@ -175,3 +175,50 @@ def render_capsched_timeline(rows: list[dict]) -> str:
         title="Cap-schedule adaptation timeline (telemetry cap.change "
         "events)",
     )
+
+
+def render_service_hit_rate(rows: list[dict]) -> str:
+    """Text backend of the tuning-service hit-rate table (rows from
+    :func:`repro.analysis.records.service_hit_rate_records`)."""
+    table_rows = [
+        (
+            r["scope"],
+            r["name"],
+            r["requests"],
+            r["hits"],
+            r["misses"],
+            (
+                "-"
+                if r["hit_rate"] is None
+                else f"{r['hit_rate'] * 100:.1f}%"
+            ),
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("scope", "name", "requests", "hits", "misses", "hit_rate"),
+        table_rows,
+        title="Tuning-service hit rate by tier and store shard",
+    )
+
+
+def render_bench_trend(rows: list[dict]) -> str:
+    """Text backend of the BENCH metric trend table (rows from
+    :func:`repro.analysis.records.bench_trend_records`)."""
+    table_rows = [
+        (
+            r["bench"],
+            r["metric"],
+            r["direction"],
+            r["commit"],
+            r["value"],
+            f"{r['rel_change_vs_first'] * 100:+.1f}%",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("bench", "metric", "direction", "commit", "value",
+         "vs_first"),
+        table_rows,
+        title="BENCH metric trend across commits",
+    )

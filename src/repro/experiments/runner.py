@@ -51,7 +51,7 @@ from repro.openmp.runtime import OpenMPRuntime
 from repro.openmp.types import OMPConfig
 from repro.service.source import ConfigSource, config_key
 from repro.supervise import RegionSupervisor, SuperviseConfig
-from repro.telemetry.bus import bus
+from repro.obs.trace import traced_span
 from repro.util.retry import RetryPolicy
 from repro.util.rng import derive_seed
 from repro.util.stats import summarize_runs
@@ -279,7 +279,7 @@ def run_default(
             if applier is not None
             else None
         )
-        with bus().span("run.repeat", strategy="default", repeat=r):
+        with traced_span("run.repeat", strategy="default", repeat=r):
             results.append(
                 run_application(app, runtime, observer=observer)
             )
@@ -502,7 +502,7 @@ def run_arcs_online(
                     Path(checkpoint_path),
                 )
 
-        with bus().span(
+        with traced_span(
             "run.repeat", strategy=strategy_label, repeat=r
         ):
             results.append(
@@ -597,7 +597,7 @@ def run_arcs_offline(
         )
         arcs.attach()
         while tuning_runs < MAX_TUNING_RUNS:
-            with bus().span(
+            with traced_span(
                 "run.tuning",
                 strategy="arcs-offline",
                 tuning_run=tuning_runs,
@@ -633,7 +633,7 @@ def run_arcs_offline(
             if applier is not None
             else None
         )
-        with bus().span(
+        with traced_span(
             "run.repeat", strategy="arcs-offline", repeat=r
         ):
             results.append(
@@ -682,27 +682,33 @@ def run_strategy(
     ignore it, so a sweep can pass one chain uniformly.
     """
     key = name.lower()
-    if key in ("arcs-online", "online"):
-        return run_arcs_online(
-            app,
-            setup,
-            checkpoint_path=checkpoint_path,
-            resume_from=resume_from,
-            supervise=supervise,
-            batch=batch,
-        )
-    if checkpoint_path is not None or resume_from is not None:
+    with traced_span(
+        "run.strategy",
+        strategy=key,
+        app=app.label,
+        machine=setup.spec.name,
+    ):
+        if key in ("arcs-online", "online"):
+            return run_arcs_online(
+                app,
+                setup,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                supervise=supervise,
+                batch=batch,
+            )
+        if checkpoint_path is not None or resume_from is not None:
+            raise ValueError(
+                f"checkpointing is only supported for arcs-online, not "
+                f"{name!r}"
+            )
+        if key == "default":
+            return run_default(app, setup)
+        if key in ("arcs-offline", "offline"):
+            return run_arcs_offline(
+                app, setup, history=history, batch=batch, source=source
+            )
         raise ValueError(
-            f"checkpointing is only supported for arcs-online, not "
-            f"{name!r}"
+            f"unknown strategy {name!r}; known: default, arcs-online, "
+            "arcs-offline"
         )
-    if key == "default":
-        return run_default(app, setup)
-    if key in ("arcs-offline", "offline"):
-        return run_arcs_offline(
-            app, setup, history=history, batch=batch, source=source
-        )
-    raise ValueError(
-        f"unknown strategy {name!r}; known: default, arcs-online, "
-        "arcs-offline"
-    )

@@ -60,6 +60,7 @@ from repro.fleet.membership import (
 )
 from repro.fleet.node import TERMINAL, NodeCell
 from repro.fleet.plan import FleetPlan, fleet_plan_fingerprint
+from repro.obs.trace import traced_span
 from repro.telemetry.bus import bus
 from repro.util.retry import RetryPolicy
 from repro.util.tables import format_table
@@ -248,6 +249,10 @@ class FleetSimulation:
         return self.cells[node_id].status not in ("pending",) + TERMINAL
 
     def _run_step(self, step: int) -> None:
+        with traced_span("fleet.step", step=step):
+            self._step_phases(step)
+
+    def _step_phases(self, step: int) -> None:
         plan = self.plan
         # 1) staggered admissions.
         for node_id in self.roster:
@@ -358,6 +363,10 @@ class FleetSimulation:
         tb = bus()
         if tb.enabled:
             tb.gauge("fleet.budget_w", total)
+            # the gauge only survives as a last-value metric at close;
+            # the per-step value-event is what lets the SLO engine
+            # check every step against the global cap.
+            tb.emit("fleet.budget_w", step=step, value=total)
 
         # 5) advance cells (tunes fan out; the rest make progress).
         advancing: list[NodeCell] = []
@@ -457,6 +466,8 @@ class FleetSimulation:
                 continue
             self.last_report[node_id] = cell.report(step)
             delivered.append(node_id)
+            if tb.enabled:
+                tb.emit("fleet.heartbeat", step=step, node=node_id)
         self._fresh_reports = len(delivered)
         for node_id in delivered:
             self.unreachable_since.pop(node_id, None)
@@ -529,7 +540,11 @@ class FleetSimulation:
             return []
         width = self._tuning_concurrency()
         if width <= 1 or len(cells) == 1:
-            return [cell.tune() for cell in cells]
+            out = []
+            for cell in cells:
+                with traced_span("fleet.tune", node=cell.node_id):
+                    out.append(cell.tune())
+            return out
 
         async def fan_out() -> list[list[FleetEvent]]:
             sem = asyncio.Semaphore(width)

@@ -1,0 +1,38 @@
+"""Observability layer: cross-process trace correlation, streaming
+aggregation, SLO evaluation, and live monitoring over the telemetry
+bus.
+
+``repro.obs`` is strictly read-side plus context plumbing: it stamps
+records with trace identity and consumes telemetry JSONL, but nothing
+in the tuning control loop reads anything back from it, so results are
+byte-identical with observability on or off.
+"""
+
+from repro.obs.aggregate import StreamAggregator, TailReader
+from repro.obs.monitor import monitor_follow, monitor_once
+from repro.obs.profile import profile_dir, render_profile
+from repro.obs.slo import Alert, evaluate_rules, load_rules
+from repro.obs.trace import (
+    TraceContext,
+    child_context,
+    render_trace_tree,
+    root_context,
+    traced_span,
+)
+
+__all__ = [
+    "Alert",
+    "StreamAggregator",
+    "TailReader",
+    "TraceContext",
+    "child_context",
+    "evaluate_rules",
+    "load_rules",
+    "monitor_follow",
+    "monitor_once",
+    "profile_dir",
+    "render_profile",
+    "render_trace_tree",
+    "root_context",
+    "traced_span",
+]

@@ -1,0 +1,170 @@
+"""``repro profile``: deterministic virtual-clock sampling profiler.
+
+A classical sampling profiler interrupts on a wall-clock timer - both
+nondeterministic and useless over *virtual* time.  Here the "timer" is
+arithmetic: every span in the telemetry already carries its virtual
+``[ts, ts+dur)`` interval, so sampling at a fixed virtual interval is
+a pure function of the records.  Each tick is attributed to the
+innermost live span; the sample lands on that span's **ancestry
+path** - resolved through trace-context parent links when present
+(cross-process: a daemon span parents into its client), falling back
+to interval containment within the file when not - so hot paths read
+as ``run.strategy > run.tuning > ...`` rather than flat span names.
+
+Same telemetry + same interval -> byte-identical profile.  No clocks,
+no signals, no RNG.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.sinks import load_telemetry_dir
+from repro.util.tables import format_table
+
+#: default virtual sampling interval, seconds.
+DEFAULT_INTERVAL_S = 0.05
+
+#: default number of hot paths reported.
+DEFAULT_TOP = 15
+
+
+def _span_rows(loaded: list[tuple[str, list[dict]]]) -> list[dict]:
+    """All span records, flattened with their file stem and trace ids."""
+    spans: list[dict] = []
+    for stem, records in loaded:
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            trace = record.get("trace") or {}
+            spans.append(
+                {
+                    "stem": stem,
+                    "name": str(record.get("name", "?")),
+                    "ts": float(record.get("ts", 0.0)),
+                    "dur": float(record.get("dur", 0.0)),
+                    "seq": int(record.get("seq", 0)),
+                    "span_id": trace.get("span_id")
+                    if "parent_id" in trace
+                    else None,
+                    "parent_id": trace.get("parent_id"),
+                }
+            )
+    return spans
+
+
+def _ancestry(span: dict, by_id: dict, stack: list[dict]) -> str:
+    """The ``outer > ... > span`` path for one sample.
+
+    Trace parent links win (they cross files/processes); the
+    containment ``stack`` (enclosing spans in the same file, outermost
+    first) covers spans recorded without trace context.
+    """
+    names = [span["name"]]
+    seen = {id(span)}
+    cursor = span
+    while True:
+        parent = by_id.get(cursor.get("parent_id"))
+        if parent is None or id(parent) in seen:
+            break
+        names.append(parent["name"])
+        seen.add(id(parent))
+        cursor = parent
+    if len(names) == 1 and len(stack) > 1:
+        # no trace links: use the file-local nesting at this tick
+        names = [s["name"] for s in reversed(stack)]
+    return " > ".join(reversed(names))
+
+
+def profile_dir(
+    directory: str | Path,
+    *,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    top: int = DEFAULT_TOP,
+) -> list[dict]:
+    """Hot ancestry paths, hottest first.
+
+    Each row: ``{"path", "samples", "est_s", "files"}`` where
+    ``est_s`` is ``samples * interval_s`` (the usual sampling-profiler
+    time estimate, exact here up to interval quantization).
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be > 0, got {interval_s}")
+    loaded = load_telemetry_dir(directory)
+    spans = _span_rows(loaded)
+    by_id = {
+        s["span_id"]: s for s in spans if s["span_id"] is not None
+    }
+    buckets: dict[str, dict] = {}
+    # Sample each file independently: ticks are global multiples of
+    # the interval, so concurrent files stay aligned on the same
+    # virtual sampling grid.
+    stems = sorted({s["stem"] for s in spans})
+    for stem in stems:
+        file_spans = sorted(
+            (s for s in spans if s["stem"] == stem),
+            key=lambda s: (s["ts"], -s["dur"], s["seq"]),
+        )
+        if not file_spans:
+            continue
+        lo = min(s["ts"] for s in file_spans)
+        hi = max(s["ts"] + s["dur"] for s in file_spans)
+        tick = int(lo // interval_s)
+        while True:
+            t = tick * interval_s
+            if t >= hi:
+                break
+            if t >= lo:
+                covering = [
+                    s
+                    for s in file_spans
+                    if s["ts"] <= t < s["ts"] + s["dur"]
+                ]
+                if covering:
+                    # innermost = latest to begin; ties to shortest
+                    inner = max(
+                        covering,
+                        key=lambda s: (s["ts"], -s["dur"], s["seq"]),
+                    )
+                    path = _ancestry(inner, by_id, covering)
+                    bucket = buckets.setdefault(
+                        path,
+                        {"samples": 0, "files": set()},
+                    )
+                    bucket["samples"] += 1
+                    bucket["files"].add(stem)
+            tick += 1
+    rows = [
+        {
+            "path": path,
+            "samples": bucket["samples"],
+            "est_s": bucket["samples"] * interval_s,
+            "files": len(bucket["files"]),
+        }
+        for path, bucket in buckets.items()
+    ]
+    rows.sort(key=lambda r: (-r["samples"], r["path"]))
+    return rows[:top] if top > 0 else rows
+
+
+def render_profile(
+    directory: str | Path,
+    *,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    top: int = DEFAULT_TOP,
+) -> str:
+    """The profiler report as plain text."""
+    rows = profile_dir(directory, interval_s=interval_s, top=top)
+    if not rows:
+        return "no spans to profile\n"
+    table = format_table(
+        ["hot path", "samples", "est_s", "files"],
+        [
+            [r["path"], r["samples"], r["est_s"], r["files"]]
+            for r in rows
+        ],
+        title=(
+            f"sampling profile ({interval_s:g}s virtual interval)"
+        ),
+    )
+    return table + "\n"

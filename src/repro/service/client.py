@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 
 from repro.faults.inject import FaultInjector
+from repro.obs.trace import traced_span
 from repro.service import protocol
 from repro.telemetry.bus import bus
 from repro.util.retry import RetryPolicy
@@ -199,25 +200,37 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def request(self, message: dict) -> dict:
         """Send one request with deadline + retry; returns the
-        validated ``ok`` response."""
-        data = protocol.encode(message)
+        validated ``ok`` response.
+
+        Under an ambient trace context the whole request becomes a
+        ``service.request`` span and the frame carries its traceparent
+        (stamped once per request, not per retry attempt, so the
+        daemon's serve spans all hang off one client node).
+        """
         op = str(message.get("op", "?"))
         tb = bus()
-        if tb.enabled:
-            tb.count(f"service.client.{op}")
-        # ServiceRequestFailed is deliberately NOT retried: the daemon
-        # answered coherently, so the same frame would fail again.
-        return self.retry.run(
-            lambda: self._attempt(data),
-            retry_on=(
-                ServiceUnavailable,
-                ServiceTimeout,
-                ServiceProtocolError,
-            ),
-            site=f"service.{op}",
-            salt=("service", op),
-            sleep=self._sleep,
-        )
+        with traced_span("service.request", op=op):
+            if tb.enabled:
+                tb.count(f"service.client.{op}")
+                ctx = tb.trace
+                if ctx is not None and "trace" not in message:
+                    message = dict(message)
+                    message["trace"] = ctx.to_traceparent()
+            data = protocol.encode(message)
+            # ServiceRequestFailed is deliberately NOT retried: the
+            # daemon answered coherently, so the same frame would fail
+            # again.
+            return self.retry.run(
+                lambda: self._attempt(data),
+                retry_on=(
+                    ServiceUnavailable,
+                    ServiceTimeout,
+                    ServiceProtocolError,
+                ),
+                site=f"service.{op}",
+                salt=("service", op),
+                sleep=self._sleep,
+            )
 
     def _attempt(self, data: bytes) -> dict:
         raw = self._exchange(data)

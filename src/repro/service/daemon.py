@@ -33,9 +33,11 @@ from pathlib import Path
 
 from repro.faults.inject import FaultInjector, make_injector
 from repro.faults.plan import FaultPlan
+from repro.obs.trace import TraceContext, root_context, traced_span
 from repro.service import protocol
 from repro.service.store import ServiceStore
-from repro.telemetry.bus import bus
+from repro.telemetry.bus import TelemetryBus, bus, install
+from repro.telemetry.sinks import JsonlSink
 from repro.util.log import get_logger
 
 log = get_logger("service.daemon")
@@ -140,14 +142,41 @@ class ConfigServiceDaemon:
     def _dispatch(self, op: str, blob: dict) -> tuple[dict, bool]:
         self.requests += 1
         tb = bus()
-        if tb.enabled:
-            tb.count(f"service.daemon.{op}")
+        if not tb.enabled:
+            return self._dispatch_op(op, blob)
+        tb.count(f"service.daemon.{op}")
+        # adopt the caller's trace context from the wire frame (absent
+        # on frames from older clients - extra fields are optional both
+        # ways) so the serve span becomes a child of the exact client
+        # request that produced it, across the process boundary.
+        parent = TraceContext.from_traceparent(blob.get("trace"))
+        prev = tb.trace
+        if parent is not None:
+            tb.trace = parent
+        try:
+            with traced_span("service.serve", op=op):
+                served = tb.trace
+                response, stop_after = self._dispatch_op(op, blob)
+                if parent is not None and served is not None:
+                    # tell the client exactly which daemon span
+                    # produced its answer
+                    response["trace"] = served.to_traceparent()
+            return response, stop_after
+        finally:
+            tb.trace = prev
+
+    def _dispatch_op(self, op: str, blob: dict) -> tuple[dict, bool]:
+        tb = bus()
         if op == "ping":
             return protocol.ok(entries=len(self.store)), False
         if op == "get":
             payload = self.store.get(blob["key"])
             if payload is None:
+                if tb.enabled:
+                    tb.count("service.daemon.get_miss")
                 return protocol.ok(hit=False), False
+            if tb.enabled:
+                tb.count("service.daemon.get_hit")
             return protocol.ok(hit=True, payload=payload), False
         if op == "put":
             self.store.put(blob["key"], blob["payload"])
@@ -206,12 +235,31 @@ def serve_forever(
     capacity: int | None = None,
     ready: "threading.Event | None" = None,
     daemon_box: list | None = None,
+    telemetry_dir: str | Path | None = None,
 ) -> None:
     """Blocking entry point for ``repro serve``: build the store, run
     the daemon until ``shutdown``/Ctrl-C, then close (fsync) the
     store.  ``ready``/``daemon_box`` are test hooks: the started
     daemon is appended to ``daemon_box`` and ``ready`` set once the
-    socket is bound."""
+    socket is bound.  ``telemetry_dir`` installs an enabled bus for
+    the daemon's lifetime writing ``daemon.jsonl`` there (serve spans,
+    store events, op counters)."""
+    session: TelemetryBus | None = None
+    old_bus: TelemetryBus | None = None
+    if telemetry_dir is not None:
+        session = TelemetryBus(enabled=True)
+        session.add_sink(JsonlSink(Path(telemetry_dir) / "daemon.jsonl"))
+        # identify by the store *name*, never its absolute path:
+        # records must not depend on where the tree was checked out
+        identity = {
+            "command": "serve",
+            "store": Path(store_dir).name,
+            "host": host,
+            "port": port,
+        }
+        session.meta(**identity)
+        session.trace = root_context(**identity)
+        old_bus = install(session)
     kwargs = {} if capacity is None else {"capacity": capacity}
     store = ServiceStore(store_dir, **kwargs)
     daemon = ConfigServiceDaemon(
@@ -233,6 +281,10 @@ def serve_forever(
         asyncio.run(_run())
     except KeyboardInterrupt:
         store.close()
+    finally:
+        if session is not None:
+            session.close()
+            install(old_bus)
 
 
 class ThreadedDaemon:
@@ -250,11 +302,17 @@ class ThreadedDaemon:
         fault_plan: FaultPlan | None = None,
         capacity: int | None = None,
         port: int = 0,
+        telemetry_dir: str | Path | None = None,
     ) -> None:
         self.store_dir = Path(store_dir)
         self.fault_plan = fault_plan
         self.capacity = capacity
         self.port = port
+        #: NOTE: installs a process-wide bus from the daemon thread;
+        #: only set this when the host process is not running its own
+        #: telemetry session (the in-process bus is shared otherwise,
+        #: which is exactly what the propagation tests rely on).
+        self.telemetry_dir = telemetry_dir
         self._thread: threading.Thread | None = None
         self._box: list[ConfigServiceDaemon] = []
 
@@ -276,6 +334,7 @@ class ThreadedDaemon:
                 "capacity": self.capacity,
                 "ready": ready,
                 "daemon_box": self._box,
+                "telemetry_dir": self.telemetry_dir,
             },
             daemon=True,
         )

@@ -42,6 +42,7 @@ from repro.core.history import (
 )
 from repro.faults.plan import plan_fingerprint
 from repro.openmp.types import OMPConfig
+from repro.obs.trace import traced_span
 from repro.service.client import (
     CircuitBreaker,
     ServiceClient,
@@ -320,30 +321,34 @@ class ChainedConfigSource(ConfigSource):
 
     def lookup(self, key: ConfigKey) -> Entry | None:
         tb = bus()
-        missed: list[ConfigSource] = []
-        for source in self.sources:
-            entry = source.lookup(key)
-            if entry is not None:
-                if tb.enabled:
-                    tb.count(f"config_source.hits.{source.name}")
-                    tb.emit(
-                        "config_source.hit",
-                        tier=source.name,
-                        experiment=key.experiment,
-                    )
-                # re-warm the tiers above that missed (or failed): a
-                # recovered daemon gets its knowledge back from the
-                # clients that kept it alive locally.
-                for upper in missed:
-                    upper.publish(key, entry)
-                return entry
-            missed.append(source)
-        if tb.enabled:
-            tb.count("config_source.misses")
-            tb.emit(
-                "config_source.miss", experiment=key.experiment
-            )
-        return None
+        with traced_span(
+            "config_source.lookup", experiment=key.experiment
+        ) as span_attrs:
+            missed: list[ConfigSource] = []
+            for source in self.sources:
+                entry = source.lookup(key)
+                if entry is not None:
+                    span_attrs["tier"] = source.name
+                    if tb.enabled:
+                        tb.count(f"config_source.hits.{source.name}")
+                        tb.emit(
+                            "config_source.hit",
+                            tier=source.name,
+                            experiment=key.experiment,
+                        )
+                    # re-warm the tiers above that missed (or failed):
+                    # a recovered daemon gets its knowledge back from
+                    # the clients that kept it alive locally.
+                    for upper in missed:
+                        upper.publish(key, entry)
+                    return entry
+                missed.append(source)
+            if tb.enabled:
+                tb.count("config_source.misses")
+                tb.emit(
+                    "config_source.miss", experiment=key.experiment
+                )
+            return None
 
     def publish(self, key: ConfigKey, entry: Entry) -> None:
         for source in self.sources:

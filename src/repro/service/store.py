@@ -101,6 +101,11 @@ class ServiceStore:
         self.capacity = capacity
         self.write_behind = write_behind
         self.stats = StoreStats()
+        #: per-shard (hits, misses) counters, keyed by shard index -
+        #: the raw material of the ``service_hit_rate`` figure, served
+        #: live through the daemon's ``stats`` op.
+        self._shard_hits: dict[int, int] = {}
+        self._shard_misses: dict[int, int] = {}
         #: live entries in LRU order (oldest first; dict preserves
         #: insertion order and re-insertion moves to the end).
         self._entries: dict[str, dict] = {}
@@ -238,14 +243,19 @@ class ServiceStore:
         return len(self._entries)
 
     def get(self, key: str) -> dict | None:
+        shard = self.shard_index(key)
         payload = self._entries.get(key)
         if payload is None:
             self.stats.misses += 1
+            self._shard_misses[shard] = (
+                self._shard_misses.get(shard, 0) + 1
+            )
             return None
         # LRU touch: re-insert at the freshest end.
         del self._entries[key]
         self._entries[key] = payload
         self.stats.hits += 1
+        self._shard_hits[shard] = self._shard_hits.get(shard, 0) + 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -324,6 +334,22 @@ class ServiceStore:
 
     # ------------------------------------------------------------------
     def stats_json(self) -> dict:
+        shard_entries: dict[int, int] = {}
+        for key in self._entries:
+            index = self.shard_index(key)
+            shard_entries[index] = shard_entries.get(index, 0) + 1
+        per_shard = []
+        for index in range(self.shards):
+            hits = self._shard_hits.get(index, 0)
+            misses = self._shard_misses.get(index, 0)
+            per_shard.append(
+                {
+                    "shard": index,
+                    "entries": shard_entries.get(index, 0),
+                    "hits": hits,
+                    "misses": misses,
+                }
+            )
         return {
             "entries": len(self._entries),
             "capacity": self.capacity,
@@ -335,4 +361,5 @@ class ServiceStore:
             "flushes": self.stats.flushes,
             "quarantined_shards": self.stats.quarantined_shards,
             "salvaged_entries": self.stats.salvaged_entries,
+            "per_shard": per_shard,
         }

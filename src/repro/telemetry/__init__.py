@@ -29,6 +29,7 @@ from repro.telemetry.sinks import (
     read_jsonl,
 )
 from repro.telemetry.timeline import (
+    merged_records,
     render_decision_timeline,
     render_metrics_summary,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "JsonlSink",
     "export_chrome_trace",
     "load_telemetry_dir",
+    "merged_records",
     "read_jsonl",
     "render_decision_timeline",
     "render_metrics_summary",

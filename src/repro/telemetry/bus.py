@@ -42,11 +42,19 @@ class TelemetryBus:
         self.enabled = enabled
         self.flight = FlightRecorder(flight_size)
         self.metrics = MetricsRegistry()
+        #: ambient trace context (:class:`repro.obs.trace.TraceContext`
+        #: or ``None``).  When set, every record emitted is stamped
+        #: with the (trace_id, span_id) it belongs to, and
+        #: :func:`repro.obs.trace.traced_span` derives child contexts
+        #: from it.  Purely observational: nothing in the control loop
+        #: reads it back.
+        self.trace = None
         self._sinks: list = []
         self._clock: Callable[[], float] | None = None
         self._clock_offset = 0.0
         self._max_ts = 0.0
         self._seq = 0
+        self._trace_children = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -132,22 +140,31 @@ class TelemetryBus:
         return self.now(), self._next_seq()
 
     def span_finish(
-        self, name: str, begin: float, seq: int, **attrs: object
+        self,
+        name: str,
+        begin: float,
+        seq: int,
+        *,
+        trace: dict | None = None,
+        **attrs: object,
     ) -> None:
         """Close a hand-rolled span; the record is byte-identical to
-        one produced by the :meth:`span` contextmanager."""
+        one produced by the :meth:`span` contextmanager.  ``trace``
+        (used by :func:`repro.obs.trace.traced_span`) attaches an
+        explicit trace dict, overriding the ambient stamp."""
         if not self.enabled:
             return
-        self._record(
-            {
-                "type": "span",
-                "ts": begin,
-                "seq": seq,
-                "name": name,
-                "dur": self.now() - begin,
-                "attrs": attrs,
-            }
-        )
+        record = {
+            "type": "span",
+            "ts": begin,
+            "seq": seq,
+            "name": name,
+            "dur": self.now() - begin,
+            "attrs": attrs,
+        }
+        if trace is not None:
+            record["trace"] = trace
+        self._record(record)
 
     # ------------------------------------------------------------------
     # metrics (aggregated in memory, flushed at close)
@@ -197,6 +214,9 @@ class TelemetryBus:
         if self._closed:
             return
         self._closed = True
+        # metric-flush records summarize the whole run; stamping them
+        # with whatever span happened to be ambient would be a lie
+        self.trace = None
         if self.enabled:
             final_ts = self._max_ts
             for record in self.metrics.snapshot():
@@ -214,7 +234,19 @@ class TelemetryBus:
         self._seq += 1
         return self._seq
 
+    def next_trace_index(self) -> int:
+        """Per-bus counter feeding deterministic child span-id
+        derivation (see :func:`repro.obs.trace.child_context`)."""
+        self._trace_children += 1
+        return self._trace_children
+
     def _record(self, record: dict) -> None:
+        ctx = self.trace
+        if ctx is not None and "trace" not in record:
+            record["trace"] = {
+                "trace_id": ctx.trace_id,
+                "span_id": ctx.span_id,
+            }
         self.flight.record(record)
         for sink in self._sinks:
             sink.write(record)

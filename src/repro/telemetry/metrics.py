@@ -8,8 +8,15 @@ closes, so the JSONL stays deterministic and compact.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+#: Samples retained per histogram for percentile estimation.  Keep-the-
+#: first-N is deliberate: a random reservoir would need an RNG and break
+#: the byte-identity contract, and repro distributions are stationary
+#: under the seed, so the prefix is representative.
+RESERVOIR_SIZE = 4096
 
 
 @dataclass
@@ -20,16 +27,40 @@ class HistogramStats:
     sum: float = 0.0
     min: float | None = None
     max: float | None = None
+    samples: list[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the retained samples.
+
+        Documented edge cases (previously index errors downstream):
+
+        * empty histogram → ``None`` (no data is not a number);
+        * single sample → that sample, for every ``p``;
+        * small n (e.g. p99 with n < 100) → the nearest-rank sample,
+          which degrades to ``max`` — never an out-of-range index;
+        * ``p`` outside [0, 100] → ``ValueError``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        # nearest-rank: 1-based rank ceil(p/100 * n); p=0 pins to min
+        n = len(ordered)
+        rank = min(n, max(1, math.ceil(p * n / 100.0)))
+        return ordered[rank - 1]
 
 
 @dataclass
@@ -92,6 +123,9 @@ class MetricsRegistry:
                     "min": hist.min,
                     "max": hist.max,
                     "mean": hist.mean,
+                    "p50": hist.percentile(50),
+                    "p95": hist.percentile(95),
+                    "p99": hist.percentile(99),
                 }
             )
         return records

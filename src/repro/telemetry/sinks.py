@@ -10,8 +10,10 @@ from the JSONL.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
+import weakref
 from pathlib import Path
 
 #: Records buffered before a write+fsync batch.  Each fsync costs
@@ -34,6 +36,25 @@ def encode_record(record: dict) -> str:
     return _ENCODER.encode(record)
 
 
+#: Live sinks flushed at interpreter exit.  Weak references: a sink
+#: that was properly closed (or garbage-collected) drops out on its
+#: own; only sinks still open when the process exits are flushed.
+_LIVE_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+
+
+def _flush_live_sinks() -> None:
+    """atexit hook: a short-lived worker that exits between batches
+    must not lose its final (< ``JSONL_BATCH_SIZE``) tail of records."""
+    for sink in list(_LIVE_SINKS):
+        try:
+            sink.close()
+        except OSError:
+            pass  # exit path: a torn flush is no worse than no flush
+
+
+atexit.register(_flush_live_sinks)
+
+
 class JsonlSink:
     """Append telemetry records to a JSONL file, fsyncing in batches."""
 
@@ -42,6 +63,7 @@ class JsonlSink:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "w", encoding="utf-8")
         self._pending = 0
+        _LIVE_SINKS.add(self)
 
     def write(self, record: dict) -> None:
         self._fh.write(_ENCODER.encode(record) + "\n")
@@ -57,6 +79,7 @@ class JsonlSink:
         self._pending = 0
 
     def close(self) -> None:
+        _LIVE_SINKS.discard(self)
         if self._fh.closed:
             return
         self.flush()

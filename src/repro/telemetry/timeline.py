@@ -33,11 +33,12 @@ TIMELINE_EVENTS = (
 )
 
 
-def _sorted_records(loaded: list[tuple[str, list[dict]]]) -> list[dict]:
+def merged_records(loaded: list[tuple[str, list[dict]]]) -> list[dict]:
     """Merge per-file record lists into one (ts, seq)-ordered stream.
 
     Records from different files (sweep cells) interleave by virtual
-    time; the per-file seq breaks ties within a file.
+    time; the per-file seq breaks ties within a file.  Shared by the
+    timeline renderer and the :mod:`repro.obs` aggregator/profiler.
     """
     merged: list[tuple[float, int, int, dict]] = []
     for file_index, (_, records) in enumerate(loaded):
@@ -52,6 +53,10 @@ def _sorted_records(loaded: list[tuple[str, list[dict]]]) -> list[dict]:
             )
     merged.sort(key=lambda item: (item[0], item[1], item[2]))
     return [item[3] for item in merged]
+
+
+#: Backwards-compatible private alias (pre-obs callers).
+_sorted_records = merged_records
 
 
 def render_decision_timeline(

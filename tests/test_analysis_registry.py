@@ -48,7 +48,7 @@ class TestRegistry:
     def test_specs_are_complete(self):
         for spec in REGISTRY.values():
             assert spec.kind in ("figure", "table")
-            assert spec.cost in ("fast", "sweep")
+            assert spec.cost in ("fast", "sweep", "external")
             assert spec.title
 
 

@@ -1,0 +1,531 @@
+"""Tests for the observability read-side: streaming aggregation, the
+SLO rule engine, the monitor dashboard, the sampling profiler, and
+the service_hit_rate / bench_trend figures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.records import (
+    bench_trend_records,
+    service_hit_rate_records,
+)
+from repro.cli import main
+from repro.obs.aggregate import StreamAggregator, TailReader
+from repro.obs.monitor import monitor_follow, monitor_once
+from repro.obs.profile import profile_dir, render_profile
+from repro.obs.slo import (
+    Alert,
+    SloConfigError,
+    alerts,
+    evaluate_rules,
+    load_rules,
+)
+from repro.telemetry import (
+    JsonlSink,
+    TelemetryBus,
+    install,
+    read_jsonl,
+)
+
+SLO_EXAMPLE = "examples/slo.json"
+
+
+def event(name, ts=0.0, seq=0, **attrs):
+    return {
+        "type": "event", "name": name, "ts": ts, "seq": seq,
+        "attrs": attrs,
+    }
+
+
+def span(name, ts=0.0, dur=1.0, seq=0, **attrs):
+    return {
+        "type": "span", "name": name, "ts": ts, "dur": dur,
+        "seq": seq, "attrs": attrs,
+    }
+
+
+def counter(name, value):
+    return {
+        "type": "metric", "kind": "counter", "name": name,
+        "value": value,
+    }
+
+
+class TestStreamAggregator:
+    def test_counters_merge_metrics_and_events(self):
+        agg = StreamAggregator()
+        agg.consume("a", counter("service.fallbacks", 3.0))
+        agg.consume("b", counter("service.fallbacks", 2.0))
+        agg.consume("a", event("config_source.miss"))
+        assert agg.counter_total("service.fallbacks") == 5.0
+        assert agg.counter_total("events.config_source.miss") == 1.0
+
+    def test_value_events_feed_sample_series(self):
+        agg = StreamAggregator()
+        for step, value in enumerate((90.0, 95.0, 110.0)):
+            agg.consume(
+                "f", event("fleet.budget_w", ts=float(step),
+                           step=step, value=value)
+            )
+        hist = agg.samples["fleet.budget_w"]
+        assert hist.count == 3
+        assert hist.max == 110.0
+
+    def test_bool_value_is_not_a_sample(self):
+        agg = StreamAggregator()
+        agg.consume("f", event("x", value=True))
+        assert "x" not in agg.samples
+
+    def test_spans_feed_layer_windows_and_slowest(self):
+        agg = StreamAggregator(top_k=2)
+        agg.consume("s", span("run.repeat", ts=0.0, dur=5.0))
+        agg.consume("s", span("run.repeat", ts=1.0, dur=9.0))
+        agg.consume("s", span("run.repeat", ts=2.0, dur=1.0))
+        agg.consume("s", span("service.request", ts=0.5, dur=0.1))
+        [run_row] = [
+            r for r in agg.layer_summary() if r["layer"] == "run"
+        ]
+        assert run_row["spans"] == 3
+        assert run_row["dur_sum"] == 15.0
+        slow = agg.slowest_spans()
+        assert [s["dur"] for s in slow] == [9.0, 5.0]
+
+    def test_group_ticks_and_max_gap(self):
+        agg = StreamAggregator()
+        for step in (0, 1, 5, 6):
+            agg.consume(
+                "f", event("fleet.heartbeat", ts=float(step),
+                           step=step, node="n0")
+            )
+        assert agg.groups("fleet.heartbeat") == ["n0"]
+        assert agg.max_gap("fleet.heartbeat", "n0", "step") == (
+            "n0", 4.0
+        )
+        assert agg.max_gap("fleet.heartbeat", "n0", "ts") == (
+            "n0", 4.0
+        )
+        assert agg.max_gap("fleet.heartbeat", "missing", "step") is None
+
+    def test_histogram_metrics_rehydrate(self):
+        agg = StreamAggregator()
+        agg.consume("a", {
+            "type": "metric", "kind": "histogram", "name": "h",
+            "count": 10, "sum": 50.0, "min": 1.0, "max": 9.0,
+        })
+        hist = agg.samples["h"]
+        assert hist.count == 10 and hist.min == 1.0 and hist.max == 9.0
+
+    def test_meta_first_writer_wins(self):
+        agg = StreamAggregator()
+        agg.consume("s", {"type": "meta", "name": "session.meta",
+                          "attrs": {"seed": 0}})
+        agg.consume("t", {"type": "meta", "name": "session.meta",
+                          "attrs": {"seed": 9, "task": "x"}})
+        assert agg.meta == {"seed": 0, "task": "x"}
+
+    def test_aggregation_is_a_pure_fold(self):
+        records = [
+            counter("c", 1.0),
+            event("e", ts=0.1, value=2.0),
+            span("s.x", ts=0.2, dur=3.0),
+        ]
+        a, b = StreamAggregator(), StreamAggregator()
+        for agg in (a, b):
+            for record in records:
+                agg.consume("f", record)
+        assert a.counters == b.counters
+        assert a.layer_summary() == b.layer_summary()
+
+
+class TestTailReader:
+    def test_only_complete_lines_are_returned(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2')
+        reader = TailReader(tmp_path)
+        got = reader.poll()
+        assert got == [("t", {"a": 1})]
+        # completing the torn line surfaces it on the next poll
+        with open(path, "a") as fh:
+            fh.write("}\n")
+        assert reader.poll() == [("t", {"b": 2})]
+        assert reader.poll() == []
+
+    def test_new_files_are_picked_up(self, tmp_path):
+        reader = TailReader(tmp_path)
+        assert reader.poll() == []
+        (tmp_path / "late.jsonl").write_text('{"x": 1}\n')
+        assert reader.poll() == [("late", {"x": 1})]
+
+
+class TestSloEngine:
+    def _agg(self, **counters):
+        agg = StreamAggregator()
+        for name, value in counters.items():
+            agg.consume("t", counter(name.replace("__", "."), value))
+        return agg
+
+    def test_example_rules_load(self):
+        rules = load_rules(SLO_EXAMPLE)
+        assert {r["kind"] for r in rules} >= {
+            "ratio_ceiling", "counter_ceiling", "ratio_floor",
+            "sample_ceiling", "event_gap_ceiling",
+        }
+
+    def test_malformed_files_raise(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        for payload in (
+            "not json",
+            json.dumps({"schema": 99, "rules": []}),
+            json.dumps({"schema": 1, "rules": []}),
+            json.dumps({"schema": 1, "rules": [{"name": "x",
+                                                "kind": "nope"}]}),
+            json.dumps({"schema": 1, "rules": [
+                {"name": "x", "kind": "counter_ceiling", "max": 1},
+                {"name": "x", "kind": "counter_ceiling", "max": 1},
+            ]}),
+        ):
+            bad.write_text(payload)
+            with pytest.raises(SloConfigError):
+                load_rules(bad)
+
+    def test_counter_ceiling_fires(self):
+        agg = self._agg(service__breaker_opens=2.0)
+        rules = [{"name": "breaker", "kind": "counter_ceiling",
+                  "counter": "service.breaker_opens", "max": 0}]
+        [outcome] = evaluate_rules(agg, rules)
+        assert outcome.status == "alert"
+        assert outcome.alert.kind == "counter_ceiling"
+        assert outcome.alert.value == 2.0
+
+    def test_ratio_rules_and_zero_denominator(self):
+        rules = [{
+            "name": "err", "kind": "ratio_ceiling",
+            "numerator": ["service.fallbacks"],
+            "denominator": ["service.client.*"],
+            "max": 0.1,
+        }]
+        [na] = evaluate_rules(self._agg(), rules)
+        assert na.status == "n/a"
+        agg = self._agg(
+            service__fallbacks=5.0, service__client__get=10.0
+        )
+        [fired] = evaluate_rules(agg, rules)
+        assert fired.status == "alert"
+        assert fired.alert.value == 0.5
+
+    def test_sample_rule_with_meta_threshold(self):
+        agg = StreamAggregator()
+        agg.consume("f", {"type": "meta", "name": "session.meta",
+                          "attrs": {"global_cap_w": 100.0}})
+        agg.consume("f", event("fleet.budget_w", value=120.0))
+        rules = [{
+            "name": "overshoot", "kind": "sample_ceiling",
+            "sample": "fleet.budget_w", "stat": "max",
+            "max_from_meta": "global_cap_w",
+        }]
+        [fired] = evaluate_rules(agg, rules)
+        assert fired.status == "alert"
+        assert fired.alert.threshold == 100.0
+        # absent meta key: skipped, not crashed
+        [na] = evaluate_rules(StreamAggregator(), rules)
+        assert na.status == "n/a"
+
+    def test_event_gap_rule(self):
+        agg = StreamAggregator()
+        for step in (0, 1, 9):
+            agg.consume("f", event("fleet.heartbeat", ts=float(step),
+                                   step=step, node="n1"))
+        rules = [{
+            "name": "stale", "kind": "event_gap_ceiling",
+            "event": "fleet.heartbeat", "group_by": "node",
+            "over": "step", "max_gap": 3,
+        }]
+        [fired] = evaluate_rules(agg, rules)
+        assert fired.status == "alert"
+        assert fired.alert.value == 8.0
+
+    def test_alerts_are_emitted_as_typed_events(self, tmp_path):
+        tb = TelemetryBus(enabled=True)
+        tb.add_sink(JsonlSink(tmp_path / "obs.jsonl"))
+        previous = install(tb)
+        try:
+            agg = self._agg(service__breaker_opens=1.0)
+            rules = [{"name": "breaker", "kind": "counter_ceiling",
+                      "counter": "service.breaker_opens", "max": 0}]
+            outcomes = evaluate_rules(agg, rules)
+        finally:
+            install(previous)
+            tb.close()
+        assert len(alerts(outcomes)) == 1
+        records = read_jsonl(tmp_path / "obs.jsonl")
+        [alert_event] = [
+            r for r in records if r.get("name") == "obs.alert"
+        ]
+        assert alert_event["attrs"]["rule"] == "breaker"
+        assert alert_event["attrs"]["kind"] == "counter_ceiling"
+
+
+def _write_telemetry(directory, records):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "telemetry.jsonl"
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return directory
+
+
+class TestMonitor:
+    def _dir(self, tmp_path):
+        return _write_telemetry(tmp_path / "tel", [
+            {"type": "meta", "name": "session.meta",
+             "attrs": {"command": "run", "seed": 0}},
+            span("run.repeat", ts=0.0, dur=2.0, seq=1),
+            event("policy.apply", ts=0.5, seq=2, region="r0"),
+            counter("service.breaker_opens", 1.0),
+        ])
+
+    def test_monitor_once_clean_exit_zero(self, tmp_path):
+        directory = self._dir(tmp_path)
+        text, code = monitor_once(directory)
+        assert code == 0
+        assert "layer health" in text
+        assert "run" in text
+
+    def test_monitor_once_with_slo_exit_one(self, tmp_path):
+        directory = self._dir(tmp_path)
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps({"schema": 1, "rules": [
+            {"name": "breaker", "kind": "counter_ceiling",
+             "counter": "service.breaker_opens", "max": 0},
+        ]}))
+        text, code = monitor_once(directory, slo)
+        assert code == 1
+        assert "ACTIVE ALERTS" in text
+        assert "breaker" in text
+
+    def test_monitor_follow_sees_appended_records(self, tmp_path):
+        directory = self._dir(tmp_path)
+        renders = []
+        polls = {"n": 0}
+
+        def fake_sleep(_):
+            # append a new record between polls, like a live run
+            polls["n"] += 1
+            with open(directory / "telemetry.jsonl", "a") as fh:
+                fh.write(json.dumps(
+                    span("run.repeat", ts=3.0 + polls["n"], dur=1.0,
+                         seq=10 + polls["n"])
+                ) + "\n")
+
+        code = monitor_follow(
+            directory, max_polls=3, emit=renders.append,
+            sleep=fake_sleep,
+        )
+        assert code == 0
+        assert len(renders) == 3
+        assert "poll 3" in renders[-1]
+
+    def test_monitor_cli(self, tmp_path, capsys):
+        directory = self._dir(tmp_path)
+        code = main(["monitor", str(directory)])
+        assert code == 0
+        assert "layer health" in capsys.readouterr().out
+
+    def test_monitor_cli_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["monitor", str(tmp_path / "nope")])
+
+
+class TestProfiler:
+    def test_containment_fallback_builds_paths(self, tmp_path):
+        directory = _write_telemetry(tmp_path / "tel", [
+            span("outer", ts=0.0, dur=1.0, seq=1),
+            span("outer.inner", ts=0.2, dur=0.6, seq=2),
+        ])
+        rows = profile_dir(directory, interval_s=0.05)
+        paths = {r["path"]: r["samples"] for r in rows}
+        assert "outer > outer.inner" in paths
+        assert "outer" in paths
+        total = sum(paths.values())
+        assert total == pytest.approx(20, abs=2)
+
+    def test_trace_ancestry_wins_over_containment(self, tmp_path):
+        trace = {"trace_id": "t" * 32}
+        directory = _write_telemetry(tmp_path / "tel", [
+            dict(span("parent", ts=0.0, dur=1.0, seq=1),
+                 trace={**trace, "span_id": "p" * 16,
+                        "parent_id": None}),
+            dict(span("child", ts=0.1, dur=0.5, seq=2),
+                 trace={**trace, "span_id": "c" * 16,
+                        "parent_id": "p" * 16}),
+        ])
+        rows = profile_dir(directory, interval_s=0.05)
+        assert any(r["path"] == "parent > child" for r in rows)
+
+    def test_profile_is_deterministic(self, tmp_path):
+        directory = _write_telemetry(tmp_path / "tel", [
+            span("a", ts=0.0, dur=2.0, seq=1),
+            span("a.b", ts=0.5, dur=1.0, seq=2),
+        ])
+        assert profile_dir(directory) == profile_dir(directory)
+        text = render_profile(directory)
+        assert "hot path" in text
+
+    def test_profile_cli(self, tmp_path, capsys):
+        directory = _write_telemetry(tmp_path / "tel", [
+            span("a", ts=0.0, dur=1.0, seq=1),
+        ])
+        assert main(["profile", str(directory)]) == 0
+        assert "sampling profile" in capsys.readouterr().out
+
+
+class TestServiceHitRateRecords:
+    def test_rows_from_counters_and_stats(self):
+        stats = {
+            "stats": {
+                "hits": 5, "misses": 3,
+                "per_shard": [
+                    {"shard": 0, "entries": 2, "hits": 4, "misses": 1},
+                    {"shard": 1, "entries": 0, "hits": 0, "misses": 0},
+                    {"shard": 2, "entries": 1, "hits": 1, "misses": 2},
+                ],
+            },
+        }
+        counters = {
+            "config_source.hits.service": 2.0,
+            "config_source.hits.memo": 1.0,
+            "config_source.misses": 1.0,
+        }
+        rows = service_hit_rate_records(
+            stats, counters, ("service", "memo")
+        )
+        by_key = {(r["scope"], r["name"]): r for r in rows}
+        assert by_key[("tier", "service")]["hits"] == 2
+        assert by_key[("tier", "service")]["requests"] == 4
+        assert by_key[("chain", "all")]["hit_rate"] == 0.75
+        assert ("shard", "shard01") not in by_key  # zero traffic
+        assert by_key[("shard", "shard00")]["hit_rate"] == 0.8
+        assert by_key[("store", "total")]["requests"] == 8
+
+    def test_zero_traffic_rates_are_none(self):
+        rows = service_hit_rate_records({}, {}, ("service",))
+        by_key = {(r["scope"], r["name"]): r for r in rows}
+        assert by_key[("tier", "service")]["hit_rate"] is None
+        assert by_key[("store", "total")]["hit_rate"] is None
+
+    def test_figure_matches_committed_golden(self):
+        """The live-daemon measurement regenerates the committed
+        results/ text byte-identically (fixed keys, seeds, shards)."""
+        from pathlib import Path
+
+        from repro.analysis.registry import generate_figure
+
+        committed = (
+            Path(__file__).resolve().parent.parent
+            / "results" / "service_hit_rate.txt"
+        )
+        if not committed.exists():
+            pytest.skip("no committed results file")
+        artifact = generate_figure("service_hit_rate")
+        assert artifact.text + "\n" == committed.read_text()
+
+
+class TestBenchTrend:
+    def _history(self, tmp_path):
+        from repro.analysis.bench import bench_payload, write_bench_json
+
+        root = tmp_path / "history"
+        for commit, value in (("001-old", 10.0), ("002-new", 12.0)):
+            sub = root / commit
+            sub.mkdir(parents=True)
+            write_bench_json(sub, bench_payload("demo", {
+                "time_s": {"value": value, "direction": "lower"},
+            }))
+        return root
+
+    def test_trend_rows_ordered_by_history(self, tmp_path):
+        rows = bench_trend_records(self._history(tmp_path))
+        assert [r["commit"] for r in rows] == ["001-old", "002-new"]
+        assert rows[0]["rel_change_vs_first"] == 0.0
+        assert rows[1]["rel_change_vs_first"] == pytest.approx(0.2)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            bench_trend_records(tmp_path / "nope")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            bench_trend_records(empty)
+
+    def test_figure_requires_bench_dir(self):
+        from repro.analysis.registry import GenOptions, generate_figure
+
+        with pytest.raises(ValueError, match="bench-dir"):
+            generate_figure("bench_trend", GenOptions())
+
+    def test_figure_via_cli(self, tmp_path, capsys):
+        history = self._history(tmp_path)
+        out = tmp_path / "out"
+        code = main([
+            "figures", "bench_trend",
+            "--bench-dir", str(history), "--out", str(out),
+        ])
+        assert code == 0
+        assert (out / "bench_trend.txt").exists()
+        payload = json.loads((out / "bench_trend.json").read_text())
+        assert payload["records"][0]["bench"] == "demo"
+
+    def test_external_cost_excluded_from_default_all(self):
+        from repro.analysis.registry import REGISTRY, generate_figures
+
+        # resolving the default name set must not pull in bench_trend
+        # (it would raise for want of --bench-dir); spot-check the
+        # filter directly instead of generating everything.
+        assert REGISTRY["bench_trend"].cost == "external"
+
+
+class TestAlertsOnFaultedFleet:
+    def test_chaos_fleet_trips_example_slos(self, tmp_path, capsys):
+        """The CI obs-gate contract: a fault-armed fleet run produces
+        telemetry that trips typed alerts under examples/slo.json."""
+        plan = {
+            "seed": 11,
+            "faults": [
+                {"site": "fleet.node", "action": "crash",
+                 "start": 2, "max_fires": 1},
+                {"site": "fleet.telemetry", "action": "partition",
+                 "start": 4, "max_fires": 2},
+                {"site": "fleet.cap_write", "action": "reject",
+                 "probability": 0.5},
+                {"site": "fleet.membership", "action": "flap",
+                 "start": 6, "max_fires": 1},
+            ],
+        }
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps(plan))
+        tel = tmp_path / "tel"
+        assert main([
+            "fleet", "run", "--nodes", "4", "--max-steps", "30",
+            "--faults", str(faults), "--telemetry", str(tel),
+        ]) == 0
+        text, code = monitor_once(tel, SLO_EXAMPLE)
+        assert code == 1
+        assert "ACTIVE ALERTS" in text
+        # at least one fleet-scoped rule fired with its typed kind
+        assert (
+            "fleet-degradation-rate" in text
+            or "fleet-heartbeat-staleness" in text
+            or "fleet-budget-overshoot" in text
+        )
+
+    def test_clean_fleet_passes_example_slos(self, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        assert main([
+            "fleet", "run", "--nodes", "3", "--max-steps", "20",
+            "--telemetry", str(tel),
+        ]) == 0
+        text, code = monitor_once(tel, SLO_EXAMPLE)
+        assert code == 0, text

@@ -446,3 +446,130 @@ class TestJournalRunIds:
             telemetry_dir="/anywhere",
         )
         assert task_run_id(plain) == task_run_id(traced)
+
+
+# ---------------------------------------------------------------------------
+# histogram percentile edge cases (property-based)
+# ---------------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_empty_histogram_returns_none(self):
+        from repro.telemetry.metrics import HistogramStats
+
+        hist = HistogramStats()
+        assert hist.percentile(50) is None
+        assert hist.percentile(99) is None
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.telemetry.metrics import HistogramStats
+
+        hist = HistogramStats()
+        hist.observe(7.25)
+        for p in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(p) == 7.25
+
+    def test_out_of_range_percentile_raises(self):
+        from repro.telemetry.metrics import HistogramStats
+
+        hist = HistogramStats()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(100.1)
+
+    def test_property_percentiles_across_sample_counts(self):
+        """For every n in 0..200: never an index error, always a
+        retained sample (or None when empty), monotone in p, and
+        p0/p100 pin to min/max."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.telemetry.metrics import HistogramStats
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            n=st.integers(min_value=0, max_value=200),
+            p=st.floats(min_value=0.0, max_value=100.0),
+            seed=st.integers(min_value=0, max_value=2**31),
+        )
+        def check(n, p, seed):
+            import random
+
+            rng = random.Random(seed)
+            values = [rng.uniform(-50.0, 50.0) for _ in range(n)]
+            hist = HistogramStats()
+            for value in values:
+                hist.observe(value)
+            got = hist.percentile(p)
+            if n == 0:
+                assert got is None
+                return
+            assert got in values
+            assert hist.percentile(0) == min(values)
+            assert hist.percentile(100) == max(values)
+            assert hist.percentile(0) <= got <= hist.percentile(100)
+            # monotone in p
+            assert got <= hist.percentile(min(100.0, p + 1.0))
+
+        check()
+
+    def test_metric_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("h", value)
+        [record] = [
+            r for r in registry.snapshot() if r["kind"] == "histogram"
+        ]
+        assert record["p50"] == 2.0
+        assert record["p95"] == 4.0
+        assert record["p99"] == 4.0
+
+
+# ---------------------------------------------------------------------------
+# sink flush at interpreter exit
+# ---------------------------------------------------------------------------
+class TestAtexitFlush:
+    def test_tail_records_survive_exit_without_close(self, tmp_path):
+        """A worker that dies right after its last event - without
+        ever reaching bus.close() - must not lose the sub-batch tail:
+        the atexit hook flushes every still-open sink."""
+        import subprocess
+        import sys
+
+        out = tmp_path / "telemetry.jsonl"
+        script = (
+            "import sys\n"
+            "from repro.telemetry.bus import TelemetryBus, install\n"
+            "from repro.telemetry.sinks import JsonlSink\n"
+            "tb = TelemetryBus(enabled=True)\n"
+            f"tb.add_sink(JsonlSink({repr(str(out))}))\n"
+            "install(tb)\n"
+            "for i in range(5):\n"
+            "    tb.emit('worker.event', index=i)\n"
+            "sys.exit(0)  # no close(), no flush: 5 records pending\n"
+        )
+        env = dict(
+            __import__("os").environ,
+            PYTHONPATH=str(
+                __import__("pathlib").Path(__file__).parent.parent
+                / "src"
+            ),
+        )
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env=env,
+            timeout=60,
+        )
+        records = read_jsonl(out)
+        events = [r for r in records if r.get("type") == "event"]
+        assert len(events) == 5
+        assert events[-1]["attrs"]["index"] == 4  # the tail line
+
+    def test_closed_sink_is_not_reflushed_at_exit(self, tmp_path):
+        from repro.telemetry.sinks import _LIVE_SINKS
+
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        assert sink in _LIVE_SINKS
+        sink.close()
+        assert sink not in _LIVE_SINKS
