@@ -78,7 +78,7 @@ from repro.util.log import configure as configure_logging
 from repro.util.tables import format_table
 from repro.workloads.registry import application_by_name
 
-_STRATEGIES = ("default", "arcs-online", "arcs-offline")
+_STRATEGIES = ("default", "arcs-online", "arcs-offline", "surrogate")
 _APPS = ("sp", "bt", "lulesh", "synthetic")
 
 
@@ -147,6 +147,23 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="per-request deadline for --service "
                           "(default: 2.0)")
+    run.add_argument("--surrogate-model", default=None,
+                     metavar="MODEL.JSON",
+                     help="fitted surrogate model (repro surrogate "
+                          "fit); required by --strategy surrogate, "
+                          "optional with --surrogate-cold-start")
+    run.add_argument("--surrogate-top-k", type=int, default=None,
+                     metavar="K",
+                     help="configs measured per region when the model "
+                          "is trusted (default: 12)")
+    run.add_argument("--surrogate-max-fit-error", type=float,
+                     default=None, metavar="ERR",
+                     help="held-out fit error above which tuning falls "
+                          "back to nelder-mead (default: 0.35)")
+    run.add_argument("--surrogate-cold-start", action="store_true",
+                     help="serve model-predicted configurations when "
+                          "every tuned-knowledge tier misses (offline "
+                          "strategies; needs --surrogate-model)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -349,6 +366,58 @@ def build_parser() -> argparse.ArgumentParser:
              f"as a regression (default: {DEFAULT_TOLERANCE})",
     )
 
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="fit / inspect the learned config-ranking surrogate",
+    )
+    surrogate_sub = surrogate.add_subparsers(
+        dest="surrogate_command", required=True
+    )
+    fit = surrogate_sub.add_parser(
+        "fit",
+        help="fold measurement stores into a training corpus and fit "
+             "the surrogate model",
+    )
+    fit.add_argument(
+        "--cache-dir", action="append", default=[], metavar="DIR",
+        help="result-cache directory to fold (repeatable)",
+    )
+    fit.add_argument(
+        "--journal", action="append", default=[], metavar="PATH",
+        help="sweep journal to fold (repeatable; read-only)",
+    )
+    fit.add_argument(
+        "--telemetry", action="append", default=[], metavar="DIR",
+        help="telemetry directory to fold (repeatable)",
+    )
+    fit.add_argument(
+        "--out", required=True, metavar="MODEL.JSON",
+        help="where to save the fitted model",
+    )
+    fit.add_argument(
+        "--corpus", default=None, metavar="CORPUS.JSON",
+        help="also save the folded training corpus here",
+    )
+    fit.add_argument(
+        "--report", default=None, metavar="REPORT.JSON",
+        help="also save the fit-quality report here",
+    )
+    fit.add_argument("--dim", type=int, default=None,
+                     help="hashed feature dimensionality (default: 1024)")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--mlp", action="store_true",
+                     help="refine the ridge fit with the seeded tiny "
+                          "MLP (slower, sometimes tighter)")
+    fit.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="fault plan arming the surrogate.corpus / surrogate.fit "
+             "sites (chaos testing)",
+    )
+    srep = surrogate_sub.add_parser(
+        "report", help="print a saved model's fit-quality report"
+    )
+    srep.add_argument("model", metavar="MODEL.JSON")
+
     trace = sub.add_parser(
         "trace",
         help="render the per-region decision timeline from a "
@@ -538,6 +607,46 @@ def _cmd_run(args: argparse.Namespace) -> str:
     source = _service_chain(
         args.service, setup.fault_plan, args.service_deadline
     )
+    surrogate_tuning = None
+    if args.surrogate_model is not None:
+        from repro.surrogate.plan import (
+            DEFAULT_MAX_FIT_ERROR,
+            DEFAULT_TOP_K,
+            SurrogateTuning,
+        )
+
+        surrogate_tuning = SurrogateTuning.load(
+            args.surrogate_model,
+            top_k=(
+                DEFAULT_TOP_K
+                if args.surrogate_top_k is None
+                else args.surrogate_top_k
+            ),
+            max_fit_error=(
+                DEFAULT_MAX_FIT_ERROR
+                if args.surrogate_max_fit_error is None
+                else args.surrogate_max_fit_error
+            ),
+        )
+    if args.strategy == "surrogate" and surrogate_tuning is None:
+        raise SystemExit(
+            "error: --strategy surrogate needs --surrogate-model "
+            "(fit one with `repro surrogate fit`)"
+        )
+    if args.surrogate_cold_start:
+        if surrogate_tuning is None:
+            raise SystemExit(
+                "error: --surrogate-cold-start needs --surrogate-model"
+            )
+        from repro.surrogate.source import SurrogateColdStartSource
+
+        cold = SurrogateColdStartSource(surrogate_tuning)
+        if source is None:
+            from repro.service.source import default_chain
+
+            source = default_chain(surrogate=cold)
+        else:
+            source.sources.append(cold)
 
     def _execute():
         try:
@@ -546,6 +655,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
                 checkpoint_path=args.checkpoint,
                 resume_from=args.resume_from,
                 source=source,
+                surrogate=surrogate_tuning,
             )
         except RunAbortedError as exc:
             # land the abort in the event log (and thus the timeline)
@@ -830,6 +940,107 @@ def _cmd_analysis(args: argparse.Namespace) -> tuple[str, int]:
     )
 
 
+def _render_fit_report(report) -> str:
+    def fmt(value):
+        return "-" if value is None else f"{value:.4f}"
+
+    rows = [
+        ("training records", str(report.n_records)),
+        ("  fit on", str(report.n_train)),
+        ("  held out", str(report.n_holdout)),
+        ("  unresolvable", str(report.n_unresolvable)),
+        ("feature dim", str(report.dim)),
+        ("seed", str(report.seed)),
+        ("mlp refinement", "yes" if report.mlp else "no"),
+        ("holdout rel err", fmt(report.holdout_rel_err)),
+        ("train rel err", fmt(report.train_rel_err)),
+        ("usable", "yes" if report.usable else
+         f"NO ({report.reason})"),
+    ]
+    lines = [format_table(("fit", "value"), rows,
+                          title="Surrogate fit report")]
+    if report.corpus_notes:
+        lines.append("corpus notes:")
+        lines.extend(f"  - {n}" for n in report.corpus_notes)
+    return "\n".join(lines)
+
+
+def _cmd_surrogate(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.surrogate import (
+        CorpusStats,
+        SurrogateError,
+        fit_surrogate,
+        fold_cache_dir,
+        fold_journal,
+        fold_telemetry_dir,
+        load_model,
+        save_corpus,
+        save_model,
+    )
+
+    if args.surrogate_command == "report":
+        try:
+            model = load_model(args.model)
+        except SurrogateError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        return _render_fit_report(model.report)
+
+    # fit
+    if not (args.cache_dir or args.journal or args.telemetry):
+        raise SystemExit(
+            "error: nothing to fold - pass at least one of "
+            "--cache-dir / --journal / --telemetry"
+        )
+    if args.dim is not None and args.dim < 1:
+        raise SystemExit(
+            f"error: --dim must be >= 1, got {args.dim}"
+        )
+    stats = CorpusStats()
+    faults = make_injector(_load_faults(args.faults), salt="surrogate")
+    records = []
+    for directory in args.cache_dir:
+        records.extend(fold_cache_dir(directory, stats, faults))
+    for path in args.journal:
+        records.extend(fold_journal(path, stats, faults))
+    for directory in args.telemetry:
+        records.extend(fold_telemetry_dir(directory, stats, faults))
+    if args.corpus:
+        save_corpus(records, stats, args.corpus)
+    kwargs = {} if args.dim is None else {"dim": args.dim}
+    model = fit_surrogate(
+        records,
+        seed=args.seed,
+        mlp=args.mlp,
+        corpus_stats=stats,
+        faults=faults,
+        **kwargs,
+    )
+    save_model(model, args.out)
+    lines = [
+        f"folded {stats.records} training record(s) from "
+        f"{stats.files} file(s) "
+        f"(skipped: {stats.skipped_schema} schema-mismatched, "
+        f"{stats.skipped_damaged} damaged, "
+        f"{stats.skipped_unusable} unusable)",
+    ]
+    lines.extend(f"  - {note}" for note in stats.notes)
+    lines.append(_render_fit_report(model.report))
+    if args.corpus:
+        lines.append(f"corpus saved to {args.corpus}")
+    if args.report:
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(
+            args.report,
+            _json.dumps(model.report.to_json(), indent=2) + "\n",
+        )
+        lines.append(f"fit report saved to {args.report}")
+    lines.append(f"model saved to {args.out}")
+    return "\n".join(lines)
+
+
 def _load_telemetry(directory: str):
     try:
         return load_telemetry_dir(directory)
@@ -905,6 +1116,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         text, code = _cmd_analysis(args)
         print(text)
         return code
+    elif args.command == "surrogate":
+        print(_cmd_surrogate(args))
     elif args.command == "trace":
         print(_cmd_trace(args))
     elif args.command == "monitor":

@@ -48,6 +48,9 @@ class ARCS:
         batch: bool | None = None,
         source: "ConfigSource | None" = None,
         source_key: "ConfigKey | None" = None,
+        surrogate_orders: (
+            dict[str, tuple[tuple[int, ...], ...]] | None
+        ) = None,
     ) -> None:
         if source is not None and source_key is None:
             raise ValueError("a config source needs a source_key")
@@ -100,6 +103,7 @@ class ARCS:
             objective=objective,
             seed=seed,
             batch=batch,
+            surrogate_orders=surrogate_orders,
         )
         self._attached = False
         self._config_calls_at_attach = 0

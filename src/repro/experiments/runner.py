@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.capschedule import CapSchedule, CapScheduleApplier
 from repro.core.checkpoint import (
@@ -61,6 +62,14 @@ from repro.workloads.base import (
     RunProgress,
     run_application,
 )
+
+if TYPE_CHECKING:  # runner <-> surrogate would cycle at import time
+    from repro.surrogate.plan import SurrogateTuning
+
+#: tuning-search modes of the ARCS-Offline tuning run.  All three
+#: produce a history entry replayed by identical measured runs, so the
+#: result's ``strategy`` label stays ``"arcs-offline"`` regardless.
+OFFLINE_TUNERS = ("exhaustive", "surrogate", "nelder-mead")
 
 #: Crill power levels (W per package); None = uncapped TDP run.
 CRILL_POWER_LEVELS: tuple[float, ...] = (55.0, 70.0, 85.0, 100.0, 115.0)
@@ -554,6 +563,9 @@ def run_arcs_offline(
     history: HistoryStore | None = None,
     batch: bool | None = None,
     source: ConfigSource | None = None,
+    *,
+    tuner: str = "exhaustive",
+    surrogate: "SurrogateTuning | None" = None,
 ) -> StrategyRunResult:
     """ARCS-Offline: exhaustive tuning run(s) produce a history file;
     the measured runs replay it.
@@ -566,7 +578,24 @@ def run_arcs_offline(
     holds) before tuning fresh, freshly tuned configurations are
     published back through it, and every tier failure along the way is
     surfaced as a degradation note - never an error.
+
+    ``tuner`` selects how the tuning run searches (the measured replay
+    runs are identical either way): ``"exhaustive"`` (the paper),
+    ``"nelder-mead"``, or ``"surrogate"`` - model-ranked top-k probing
+    via ``surrogate`` (a :class:`~repro.surrogate.plan.
+    SurrogateTuning`).  An untrusted surrogate fit falls back to the
+    plain Nelder-Mead path with a degradation note; the fallback run
+    is byte-identical to ``tuner="nelder-mead"`` apart from that note.
     """
+    if tuner not in OFFLINE_TUNERS:
+        raise ValueError(
+            f"unknown offline tuner {tuner!r}; known: {OFFLINE_TUNERS}"
+        )
+    if tuner == "surrogate" and surrogate is None:
+        raise ValueError(
+            "tuner='surrogate' needs a SurrogateTuning (model + "
+            "thresholds); see repro.surrogate.plan"
+        )
     history = history if history is not None else HistoryStore()
     key = experiment_key(
         app.name, setup.spec.name, setup.cap_w, app.workload
@@ -583,17 +612,36 @@ def run_arcs_offline(
             )
     tuning_runs = 0
     fallbacks: dict[str, str] = {}
+    surrogate_notes: list[str] = []
     if not history.has(key):
+        tuning_strategy = tuner
+        orders = None
+        if tuner == "surrogate":
+            from repro.surrogate.plan import fallback_note
+
+            reason = surrogate.fallback_reason()
+            if reason is not None:
+                # decided *before* any search state exists, so the
+                # fallback run shares every seed and code path with a
+                # plain nelder-mead tuning run.
+                surrogate_notes.append(fallback_note(reason))
+                tuning_strategy = "nelder-mead"
+            else:
+                orders = surrogate.orders_for(
+                    app, setup.spec, setup.cap_w
+                )
         runtime = fresh_runtime(setup, run_index=1000)
         arcs = ARCS(
             runtime,
-            strategy="exhaustive",
+            strategy=tuning_strategy,
+            max_evals=setup.online_max_evals,
             history=history,
             history_key=key,
             seed=derive_seed(setup.seed, "offline-tuning"),
             batch=batch,
             source=source,
             source_key=source_key,
+            surrogate_orders=orders,
         )
         arcs.attach()
         while tuning_runs < MAX_TUNING_RUNS:
@@ -657,7 +705,7 @@ def run_arcs_offline(
         overhead=overhead,
         tuning_runs=tuning_runs,
         degradations=_collect_degradations(
-            results, fallbacks, source_notes
+            results, fallbacks, source_notes, surrogate_notes
         ),
         cap_changes=tuple(cap_changes),
     )
@@ -674,12 +722,16 @@ def run_strategy(
     supervise: SuperviseConfig | None = None,
     batch: bool | None = None,
     source: ConfigSource | None = None,
+    surrogate: "SurrogateTuning | None" = None,
 ) -> StrategyRunResult:
-    """Dispatch by strategy name: default / arcs-online / arcs-offline.
+    """Dispatch by strategy name: default / arcs-online / arcs-offline
+    / surrogate (arcs-offline whose tuning run probes a model-ranked
+    top-k subset instead of the whole space).
 
-    ``source`` (a :class:`ConfigSource` chain) only affects
-    arcs-offline - the strategies that do not consume tuned knowledge
-    ignore it, so a sweep can pass one chain uniformly.
+    ``source`` (a :class:`ConfigSource` chain) only affects the
+    offline modes - the strategies that do not consume tuned knowledge
+    ignore it, so a sweep can pass one chain uniformly.  ``surrogate``
+    likewise only affects ``"surrogate"``.
     """
     key = name.lower()
     with traced_span(
@@ -708,7 +760,17 @@ def run_strategy(
             return run_arcs_offline(
                 app, setup, history=history, batch=batch, source=source
             )
+        if key == "surrogate":
+            return run_arcs_offline(
+                app,
+                setup,
+                history=history,
+                batch=batch,
+                source=source,
+                tuner="surrogate",
+                surrogate=surrogate,
+            )
         raise ValueError(
             f"unknown strategy {name!r}; known: default, arcs-online, "
-            "arcs-offline"
+            "arcs-offline, surrogate"
         )

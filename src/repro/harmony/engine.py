@@ -8,7 +8,11 @@ from repro.harmony.pro import ParallelRankOrderSearch
 from repro.harmony.random_search import RandomSearch
 from repro.harmony.session import SearchStrategy
 from repro.harmony.space import SearchSpace
+from repro.harmony.surrogate import SurrogateRankedSearch
 
+#: the self-contained strategies (buildable from a space alone).
+#: ``"surrogate"`` is also accepted by :func:`make_strategy` but needs
+#: a precomputed probe ``order`` from :mod:`repro.surrogate.plan`.
 STRATEGIES = ("exhaustive", "nelder-mead", "pro", "random")
 
 
@@ -18,12 +22,14 @@ def make_strategy(
     max_evals: int = 48,
     seed: int = 0,
     start: tuple[int, ...] | None = None,
+    order: tuple[tuple[int, ...], ...] | None = None,
 ) -> SearchStrategy:
     """Build a search strategy by name.
 
     ``start`` seeds simplex strategies with an initial point (ARCS
     starts near the default configuration); exhaustive and random
-    ignore it.
+    ignore it.  ``order`` is the model-ranked probe subset required by
+    (and only by) the ``"surrogate"`` strategy.
     """
     key = name.lower()
     if key == "exhaustive":
@@ -36,6 +42,14 @@ def make_strategy(
         )
     if key == "random":
         return RandomSearch(space, max_evals=max_evals, seed=seed)
+    if key == "surrogate":
+        if order is None:
+            raise ValueError(
+                "the surrogate strategy needs a precomputed probe "
+                "order (see repro.surrogate.plan)"
+            )
+        return SurrogateRankedSearch(space, order)
     raise ValueError(
-        f"unknown strategy {name!r}; known: {STRATEGIES}"
+        f"unknown strategy {name!r}; known: "
+        f"{STRATEGIES + ('surrogate',)}"
     )

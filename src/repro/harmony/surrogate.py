@@ -1,0 +1,55 @@
+"""Surrogate-ranked search: measure only a model-selected subset.
+
+The learned surrogate (:mod:`repro.surrogate`) ranks the whole Table I
+space by predicted objective *before* any measurement; this strategy
+then measures only the selected top-k candidates through the normal
+ask/tell protocol.  Two deliberate properties:
+
+* the subset is measured in **row-major space order**, not rank order.
+  Measurement noise is drawn from a per-runtime call counter, so the
+  *order* of probes is part of the measurement semantics: keeping the
+  exhaustive walk's order over the selected subset means ranking picks
+  *which* points get measured but never changes *how* any point is
+  measured.  With k = |space| the strategy degenerates exactly to
+  :class:`~repro.harmony.exhaustive.ExhaustiveSearch` - the
+  differential test in ``tests/test_surrogate_differential.py`` holds
+  the two byte-identical;
+* ``probe_preview`` exposes the whole remaining plan (inherited from
+  the exhaustive walk), so batched prefetch and the evaluation memo
+  keep working unchanged.
+
+The strategy itself is model-free: it walks a precomputed order.  The
+ranking (and the Nelder-Mead fallback decision when the model's
+held-out fit error is too large) happens upstream in
+:mod:`repro.surrogate.plan`, which keeps :mod:`repro.harmony` free of
+any model dependency.
+"""
+
+from __future__ import annotations
+
+from repro.harmony.exhaustive import ExhaustiveSearch
+from repro.harmony.session import SearchStrategy
+from repro.harmony.space import SearchSpace
+
+
+class SurrogateRankedSearch(ExhaustiveSearch):
+    """Exhaustive walk over a precomputed subset of the space."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        order: tuple[tuple[int, ...], ...],
+    ) -> None:
+        # bypass ExhaustiveSearch.__init__: it would materialize the
+        # full space only for us to throw the walk away.
+        SearchStrategy.__init__(self, space)
+        if not order:
+            raise ValueError(
+                "surrogate search needs a non-empty probe order"
+            )
+        self._order = [tuple(indices) for indices in order]
+        for indices in self._order:
+            space.decode(indices)  # reject out-of-space orders early
+        self._pos = 0
+        self._pending: tuple[int, ...] | None = None
+        self._best: tuple[tuple[int, ...], float] | None = None

@@ -156,6 +156,11 @@ class ConfigSource(ABC):
     """
 
     name: str = "?"
+    #: whether a hit from this tier may be promoted into the tiers
+    #: above it.  False for *derived* knowledge (the surrogate
+    #: cold-start tier): predictions must never be written into the
+    #: measured-knowledge tiers as if they had been tuned.
+    promote: bool = True
 
     def __init__(self) -> None:
         self.notes: list[str] = []
@@ -338,9 +343,11 @@ class ChainedConfigSource(ConfigSource):
                         )
                     # re-warm the tiers above that missed (or failed):
                     # a recovered daemon gets its knowledge back from
-                    # the clients that kept it alive locally.
-                    for upper in missed:
-                        upper.publish(key, entry)
+                    # the clients that kept it alive locally.  Tiers
+                    # serving derived (unmeasured) knowledge opt out.
+                    if source.promote:
+                        for upper in missed:
+                            upper.publish(key, entry)
                     return entry
                 missed.append(source)
             if tb.enabled:
@@ -370,11 +377,17 @@ def default_chain(
     retry=None,
     memo: dict[str, dict] | None = None,
     breaker: CircuitBreaker | None = None,
+    surrogate: ConfigSource | None = None,
 ) -> ChainedConfigSource:
-    """The standard degradation order: service -> memo -> history.
+    """The standard degradation order: service -> memo -> history ->
+    surrogate cold start.
 
     Every part is optional; the chain always contains the memo tier,
     so even a bare chain shares tuning within the process.
+    ``surrogate`` (a :class:`~repro.surrogate.source.
+    SurrogateColdStartSource`) goes last: model predictions only serve
+    when every measured-knowledge tier missed, and they are never
+    promoted upward.
     """
     from repro.service.client import DEFAULT_DEADLINE_S, DEFAULT_RETRY
 
@@ -392,4 +405,6 @@ def default_chain(
     sources.append(MemoSource(memo=memo))
     if history is not None:
         sources.append(HistorySource(history))
+    if surrogate is not None:
+        sources.append(surrogate)
     return ChainedConfigSource(sources)

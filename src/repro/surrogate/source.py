@@ -1,0 +1,114 @@
+"""Cold-start tier: serve *predicted* configurations for untuned
+contexts.
+
+:class:`SurrogateColdStartSource` sits at the bottom of the
+config-source chain (after the service / memo / history tiers, before
+fresh tuning).  When every measured-knowledge tier misses, it parses
+the experiment key back into an (app, machine, cap) context, asks the
+surrogate for the best-predicted configuration of every region, and
+serves those - so a region nothing has ever tuned still starts from a
+model-informed configuration instead of paying a fresh search.
+
+Two safety properties:
+
+* **predictions never masquerade as measurements.**  The tier sets
+  ``promote = False``, so the chain never writes a predicted entry
+  into the service / memo / history tiers, and the entry's objective
+  values are all ``None`` (there was no measurement).  A hit is also
+  recorded as a degradation note naming the tier, because the run's
+  configurations are unvalidated;
+* **an untrusted model never serves.**  The same fallback contract as
+  the search strategy applies (:meth:`SurrogateTuning.fallback_reason`):
+  an unusable or high-error fit makes every lookup a miss, degrading
+  to fresh tuning.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import config_from_point, search_space_for
+from repro.machine.spec import machine_by_name
+from repro.openmp.types import OMPConfig
+from repro.service.source import ConfigKey, ConfigSource, Entry
+from repro.surrogate.model import context_from_profile
+from repro.surrogate.plan import SurrogateTuning
+from repro.workloads.registry import application_by_name
+
+
+def _parse_experiment(key: str):
+    """``app|machine|cap|workload`` back into parts; ``None`` when the
+    key does not look like :func:`repro.core.history.experiment_key`
+    output."""
+    parts = key.split("|")
+    if len(parts) != 4:
+        return None
+    app, machine, cap_label, workload = parts
+    if cap_label == "tdp":
+        cap_w: float | None = None
+    elif cap_label.endswith("W"):
+        try:
+            cap_w = float(cap_label[:-1])
+        except ValueError:
+            return None
+    else:
+        return None
+    return app, machine, cap_w, workload
+
+
+class SurrogateColdStartSource(ConfigSource):
+    """Model-predicted configurations as a (non-promoting) chain tier."""
+
+    name = "surrogate"
+    #: never re-warm upper tiers with predictions - only measured
+    #: knowledge may enter the service / memo / history tiers.
+    promote = False
+
+    def __init__(self, tuning: SurrogateTuning) -> None:
+        super().__init__()
+        self.tuning = tuning
+        #: lookups served, for tests and reports.
+        self.hits = 0
+
+    def lookup(self, key: ConfigKey) -> Entry | None:
+        reason = self.tuning.fallback_reason()
+        if reason is not None:
+            self._note(
+                f"model not trusted ({reason}); cold-start disabled"
+            )
+            return None
+        parsed = _parse_experiment(key.experiment)
+        if parsed is None:
+            self._note(
+                f"unrecognized experiment key {key.experiment!r}; "
+                "cannot predict for it"
+            )
+            return None
+        app_name, machine, cap_w, workload = parsed
+        try:
+            app = application_by_name(app_name, workload or None)
+            spec = machine_by_name(machine)
+        except ValueError as exc:
+            self._note(f"cannot resolve experiment context ({exc})")
+            return None
+        space = search_space_for(spec)
+        configs: dict[str, OMPConfig] = {}
+        values: dict[str, float | None] = {}
+        for profile in app.regions():
+            ctx = context_from_profile(
+                app.label, spec.name, cap_w, profile, spec.tdp_w
+            )
+            best = self.tuning.model.rank(ctx, space)[0]
+            configs[profile.name] = config_from_point(
+                space.decode(best)
+            )
+            values[profile.name] = None  # predicted, never measured
+        if not configs:
+            return None
+        self.hits += 1
+        self._note(
+            "served model-predicted configurations for "
+            f"{len(configs)} region(s); unvalidated cold start"
+        )
+        return configs, values
+
+    def publish(self, key: ConfigKey, entry: Entry) -> None:
+        """Nothing to store - predictions are derived, not kept."""

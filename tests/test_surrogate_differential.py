@@ -1,0 +1,264 @@
+"""Differential wall for the surrogate search strategy.
+
+Two byte-identity contracts pin the strategy's result-neutrality:
+
+* with ``top_k = |space|`` the surrogate measures every point in
+  row-major order - exactly what :class:`ExhaustiveSearch` does - so
+  the whole run result must be byte-identical to ``tuner="exhaustive"``
+  (probe *order* is part of measurement semantics: the runtime's noise
+  stream is keyed by call index);
+* when the fallback contract trips (untrusted fit, damaged corpus,
+  non-finite weights), the run must be byte-identical to a plain
+  ``tuner="nelder-mead"`` run apart from one strippable, typed
+  degradation note.
+
+The fault-site tests parametrize over every ``surrogate.*`` injection
+point, in the same style as the ``service.*`` suite: damage degrades
+to the Nelder-Mead fallback, never to a crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import config_from_point, search_space_for
+from repro.experiments.cache import result_to_json
+from repro.experiments.runner import (
+    ExperimentSetup,
+    run_arcs_offline,
+    run_strategy,
+)
+from repro.faults.inject import make_injector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.harmony.engine import make_strategy
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.surrogate.corpus import CorpusStats, TrainingRecord, fold_result
+from repro.surrogate.model import fit_surrogate
+from repro.surrogate.plan import (
+    FALLBACK_NOTE_PREFIX,
+    SurrogateTuning,
+    strip_surrogate_notes,
+)
+from repro.workloads.registry import application_by_name
+
+APP = application_by_name("synthetic", "mixed")
+SPEC = crill()
+SPACE = search_space_for(SPEC)
+
+
+def offline_setup() -> ExperimentSetup:
+    return ExperimentSetup(spec=crill(), cap_w=85.0, repeats=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def corpus() -> list[TrainingRecord]:
+    node = SimulatedNode(SPEC)
+    node.set_power_cap(85.0)
+    node.settle_after_cap()
+    engine = ExecutionEngine(node)
+    records = []
+    for profile in APP.regions():
+        for indices in SPACE.iter_indices():
+            config = config_from_point(SPACE.decode(indices))
+            records.append(
+                TrainingRecord(
+                    app=APP.label,
+                    machine=SPEC.name,
+                    region=profile.name,
+                    cap_w=85.0,
+                    n_threads=config.n_threads,
+                    schedule=config.schedule.value,
+                    chunk=config.chunk,
+                    time_s=engine._simulate(profile, config).time_s,
+                    energy_j=None,
+                    source="cache",
+                    provenance="test_surrogate_differential",
+                )
+            )
+    return records
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    fitted = fit_surrogate(corpus, seed=3)
+    assert fitted.usable
+    return fitted
+
+
+def dumps(result) -> str:
+    return json.dumps(result_to_json(result), sort_keys=True)
+
+
+def dumps_without_surrogate_notes(result) -> str:
+    blob = result_to_json(result)
+    blob["degradations"] = list(
+        strip_surrogate_notes(blob["degradations"])
+    )
+    return json.dumps(blob, sort_keys=True)
+
+
+class TestByteIdentity:
+    def test_full_space_surrogate_equals_exhaustive(self, model):
+        # trust is forced (the differential is about the measurement
+        # path, not the fit quality); k = |space| makes the selected
+        # subset the whole row-major walk
+        tuning = SurrogateTuning(
+            model=model, top_k=SPACE.size, max_fit_error=1.0e9
+        )
+        surrogate = run_arcs_offline(
+            APP, offline_setup(), tuner="surrogate", surrogate=tuning
+        )
+        exhaustive = run_arcs_offline(
+            APP, offline_setup(), tuner="exhaustive"
+        )
+        assert dumps(surrogate) == dumps(exhaustive)
+        # the trusted path records no surrogate degradation notes
+        assert not [
+            d
+            for d in surrogate.degradations
+            if d.startswith(FALLBACK_NOTE_PREFIX)
+        ]
+
+    def test_fallback_equals_plain_nelder_mead(self, model):
+        # max_fit_error=0 distrusts any positive held-out error, so
+        # the surrogate run takes the Nelder-Mead path end to end
+        tuning = SurrogateTuning(
+            model=model, top_k=12, max_fit_error=0.0
+        )
+        fallback = run_arcs_offline(
+            APP, offline_setup(), tuner="surrogate", surrogate=tuning
+        )
+        nelder_mead = run_arcs_offline(
+            APP, offline_setup(), tuner="nelder-mead"
+        )
+        assert dumps_without_surrogate_notes(fallback) == dumps(
+            nelder_mead
+        )
+        notes = [
+            d
+            for d in fallback.degradations
+            if d.startswith(FALLBACK_NOTE_PREFIX)
+        ]
+        assert len(notes) == 1
+        assert "exceeds the trust threshold" in notes[0]
+        assert "fell back to nelder-mead" in notes[0]
+
+    def test_small_top_k_spends_fewer_probes_same_strategy_label(
+        self, model
+    ):
+        tuning = SurrogateTuning(
+            model=model, top_k=4, max_fit_error=1.0e9
+        )
+        result = run_arcs_offline(
+            APP, offline_setup(), tuner="surrogate", surrogate=tuning
+        )
+        # the label stays "arcs-offline" for every tuner mode: results
+        # stay comparable across the analysis pipeline
+        assert result.strategy == "arcs-offline"
+        assert result.tuning_runs >= 1
+
+
+class TestFaultSitesDegradeToFallback:
+    """Every ``surrogate.*`` fault ends in the Nelder-Mead fallback
+    with a typed note - never a crash, never a silently wrong model."""
+
+    @pytest.mark.parametrize(
+        "site, action",
+        [
+            ("surrogate.corpus", "torn"),
+            ("surrogate.corpus", "corrupt"),
+            ("surrogate.fit", "nonfinite"),
+        ],
+    )
+    def test_fault_degrades_to_nelder_mead(
+        self, corpus, offline_faulted_model_cache, site, action
+    ):
+        faulted = offline_faulted_model_cache(site, action)
+        assert not faulted.usable
+        tuning = SurrogateTuning(model=faulted)
+        result = run_arcs_offline(
+            APP, offline_setup(), tuner="surrogate", surrogate=tuning
+        )
+        baseline = run_arcs_offline(
+            APP, offline_setup(), tuner="nelder-mead"
+        )
+        assert dumps_without_surrogate_notes(result) == dumps(baseline)
+        notes = [
+            d
+            for d in result.degradations
+            if d.startswith(FALLBACK_NOTE_PREFIX)
+        ]
+        assert len(notes) == 1
+        assert "model unusable" in notes[0]
+        assert "fell back to nelder-mead" in notes[0]
+
+    @pytest.fixture(scope="class")
+    def offline_faulted_model_cache(self, corpus):
+        source_result = run_arcs_offline(APP, offline_setup())
+
+        def build(site: str, action: str):
+            plan = FaultPlan(
+                specs=(FaultSpec(site=site, action=action),), seed=5
+            )
+            injector = make_injector(plan, salt="surrogate-test")
+            if site == "surrogate.corpus":
+                # the damage lands while folding: every candidate
+                # record is skipped, the fit sees an empty corpus
+                stats = CorpusStats()
+                records = fold_result(
+                    source_result,
+                    source="cache",
+                    provenance="p",
+                    stats=stats,
+                    faults=injector,
+                )
+                assert records == []
+                model = fit_surrogate(
+                    records, seed=3, corpus_stats=stats
+                )
+                # the fold damage is carried into the fit report
+                assert any(action in n for n in model.report.corpus_notes)
+                return model
+            # surrogate.fit: the solve itself blows up non-finite
+            return fit_surrogate(corpus, seed=3, faults=injector)
+
+        return build
+
+
+class TestStrategyWiring:
+    def test_surrogate_strategy_requires_an_order(self):
+        with pytest.raises(ValueError, match="precomputed probe order"):
+            make_strategy("surrogate", SPACE)
+
+    def test_empty_order_is_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_strategy("surrogate", SPACE, order=())
+
+    def test_order_entries_are_validated_against_the_space(self):
+        bad = ((999, 999, 999),)
+        with pytest.raises(Exception):
+            make_strategy("surrogate", SPACE, order=bad)
+
+    def test_runner_requires_tuning_for_surrogate(self):
+        with pytest.raises(ValueError, match="SurrogateTuning"):
+            run_arcs_offline(APP, offline_setup(), tuner="surrogate")
+
+    def test_unknown_tuner_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown offline tuner"):
+            run_arcs_offline(APP, offline_setup(), tuner="simulated")
+
+    def test_run_strategy_surrogate_key(self, model):
+        tuning = SurrogateTuning(
+            model=model, top_k=SPACE.size, max_fit_error=1.0e9
+        )
+        via_key = run_strategy(
+            "surrogate", APP, offline_setup(), surrogate=tuning
+        )
+        direct = run_arcs_offline(
+            APP, offline_setup(), tuner="surrogate", surrogate=tuning
+        )
+        assert dumps(via_key) == dumps(direct)

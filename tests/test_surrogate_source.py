@@ -1,0 +1,205 @@
+"""Cold-start tier: model predictions served through the config-source
+chain - and the guarantees that keep them honest.
+
+Predictions are derived knowledge, not measurements, so the tier must
+(a) only serve when the fit is trusted, (b) mark every hit as a
+degradation (the run's configs are unvalidated), and (c) never promote
+its entries into the service / memo / history tiers - a prediction
+that re-entered a measured-knowledge tier would masquerade as a
+measurement forever after.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import config_from_point, search_space_for
+from repro.experiments.runner import ExperimentSetup, run_arcs_offline
+from repro.machine.node import SimulatedNode
+from repro.machine.spec import crill
+from repro.openmp.engine import ExecutionEngine
+from repro.service import source as source_mod
+from repro.service.source import ConfigKey, config_key, default_chain
+from repro.surrogate.corpus import TrainingRecord
+from repro.surrogate.model import fit_surrogate
+from repro.surrogate.plan import SurrogateTuning
+from repro.surrogate.source import (
+    SurrogateColdStartSource,
+    _parse_experiment,
+)
+from repro.workloads.registry import application_by_name
+
+APP = application_by_name("synthetic", "mixed")
+SPEC = crill()
+SPACE = search_space_for(SPEC)
+
+
+@pytest.fixture(autouse=True)
+def clean_process_memo():
+    source_mod._PROCESS_MEMO.clear()
+    yield
+    source_mod._PROCESS_MEMO.clear()
+
+
+def offline_setup() -> ExperimentSetup:
+    return ExperimentSetup(spec=crill(), cap_w=85.0, repeats=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trusted_tuning() -> SurrogateTuning:
+    node = SimulatedNode(SPEC)
+    node.set_power_cap(85.0)
+    node.settle_after_cap()
+    engine = ExecutionEngine(node)
+    records = []
+    for profile in APP.regions():
+        for indices in SPACE.iter_indices():
+            config = config_from_point(SPACE.decode(indices))
+            records.append(
+                TrainingRecord(
+                    app=APP.label,
+                    machine=SPEC.name,
+                    region=profile.name,
+                    cap_w=85.0,
+                    n_threads=config.n_threads,
+                    schedule=config.schedule.value,
+                    chunk=config.chunk,
+                    time_s=engine._simulate(profile, config).time_s,
+                    energy_j=None,
+                    source="cache",
+                    provenance="test_surrogate_source",
+                )
+            )
+    model = fit_surrogate(records, seed=3)
+    assert model.usable
+    # trust is forced: these tests are about chain semantics, not
+    # whether the synthetic app's fit clears the default threshold
+    return SurrogateTuning(model=model, max_fit_error=1.0e9)
+
+
+class TestParseExperiment:
+    def test_tdp_cap(self):
+        assert _parse_experiment("sp|crill|tdp|B") == (
+            "sp",
+            "crill",
+            None,
+            "B",
+        )
+
+    def test_watt_cap(self):
+        assert _parse_experiment("sp|crill|85W|B") == (
+            "sp",
+            "crill",
+            85.0,
+            "B",
+        )
+
+    @pytest.mark.parametrize(
+        "key",
+        ["", "a|b|c", "a|b|c|d|e", "sp|crill|85|B", "sp|crill|xW|B"],
+    )
+    def test_malformed_keys(self, key):
+        assert _parse_experiment(key) is None
+
+
+class TestLookup:
+    def test_hit_serves_predictions_with_no_values(
+        self, trusted_tuning
+    ):
+        source = SurrogateColdStartSource(trusted_tuning)
+        entry = source.lookup(config_key(APP, offline_setup()))
+        assert entry is not None
+        configs, values = entry
+        assert set(configs) == {p.name for p in APP.regions()}
+        assert all(v is None for v in values.values())
+        assert source.hits == 1
+        notes = source.drain_notes()
+        assert any("unvalidated cold start" in n for n in notes)
+
+    def test_untrusted_model_misses_with_note(self, trusted_tuning):
+        distrusting = SurrogateTuning(
+            model=trusted_tuning.model, max_fit_error=0.0
+        )
+        source = SurrogateColdStartSource(distrusting)
+        assert source.lookup(config_key(APP, offline_setup())) is None
+        assert source.hits == 0
+        assert any(
+            "model not trusted" in n for n in source.drain_notes()
+        )
+
+    def test_missing_model_file_misses_with_note(self, tmp_path):
+        tuning = SurrogateTuning.load(tmp_path / "missing.json")
+        source = SurrogateColdStartSource(tuning)
+        assert source.lookup(config_key(APP, offline_setup())) is None
+        assert any(
+            "model not trusted" in n for n in source.drain_notes()
+        )
+
+    def test_malformed_experiment_key_misses(self, trusted_tuning):
+        source = SurrogateColdStartSource(trusted_tuning)
+        key = ConfigKey(experiment="not-an-experiment", digest="d")
+        assert source.lookup(key) is None
+        assert any(
+            "unrecognized experiment key" in n
+            for n in source.drain_notes()
+        )
+
+    def test_unknown_app_misses(self, trusted_tuning):
+        source = SurrogateColdStartSource(trusted_tuning)
+        key = ConfigKey(
+            experiment="no_such_app|crill|85W|x", digest="d"
+        )
+        assert source.lookup(key) is None
+        assert any(
+            "cannot resolve" in n for n in source.drain_notes()
+        )
+
+
+class TestChainIntegration:
+    def test_cold_start_hit_skips_tuning_with_degradation(
+        self, trusted_tuning
+    ):
+        source = SurrogateColdStartSource(trusted_tuning)
+        chain = default_chain(memo={}, surrogate=source)
+        result = run_arcs_offline(APP, offline_setup(), source=chain)
+        assert result.tuning_runs == 0
+        assert source.hits == 1
+        notes = [
+            d
+            for d in result.degradations
+            if d.startswith("config source surrogate")
+        ]
+        assert notes and "unvalidated cold start" in notes[0]
+
+    def test_predictions_are_never_promoted_upward(
+        self, trusted_tuning
+    ):
+        source = SurrogateColdStartSource(trusted_tuning)
+        memo: dict[str, dict] = {}
+        chain = default_chain(memo=memo, surrogate=source)
+        run_arcs_offline(APP, offline_setup(), source=chain)
+        # promote=False: the memo tier above must NOT have been warmed
+        assert memo == {}
+        # a second run over the same memo still resolves through the
+        # surrogate tier, not a promoted copy
+        source2 = SurrogateColdStartSource(trusted_tuning)
+        chain2 = default_chain(memo=memo, surrogate=source2)
+        again = run_arcs_offline(APP, offline_setup(), source=chain2)
+        assert again.tuning_runs == 0
+        assert source2.hits == 1
+        assert memo == {}
+
+    def test_measured_tiers_win_over_predictions(self, trusted_tuning):
+        # a run WITHOUT the surrogate tier publishes measured tuning
+        # into the memo; the next chain must serve that, not predict
+        memo: dict[str, dict] = {}
+        baseline = run_arcs_offline(
+            APP, offline_setup(), source=default_chain(memo=memo)
+        )
+        assert baseline.tuning_runs >= 1
+        assert memo  # measured knowledge was published
+        source = SurrogateColdStartSource(trusted_tuning)
+        chain = default_chain(memo=memo, surrogate=source)
+        result = run_arcs_offline(APP, offline_setup(), source=chain)
+        assert result.tuning_runs == 0
+        assert source.hits == 0  # the memo answered first
